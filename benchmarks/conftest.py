@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark/experiment harnesses.
+
+Each bench module regenerates one of the paper's tables or bound-carrying
+theorems (see DESIGN.md's experiment index): it runs the workload, prints
+a paper-style table with the measured column next to the paper's bound,
+asserts the *shape* (who wins, by roughly what factor), and times one
+representative run through pytest-benchmark so ``--benchmark-only``
+reports something meaningful.
+
+Every emitted table is also appended to ``results/benchmark_tables.txt``
+so a bench run leaves a reviewable artifact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+import sys
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+_RESULTS_FILE = os.path.join(_RESULTS_DIR, "benchmark_tables.txt")
+
+
+def pytest_sessionstart(session):
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    # Truncate per session so the artifact reflects one coherent run.
+    with open(_RESULTS_FILE, "w", encoding="utf-8") as f:
+        f.write("")
+
+
+def emit(text: str) -> None:
+    """Print a results table (stderr, so it survives capture) and append
+    it to the results artifact."""
+    print("\n" + text, file=sys.stderr)
+    try:
+        with open(_RESULTS_FILE, "a", encoding="utf-8") as f:
+            f.write(text + "\n\n")
+    except OSError:
+        pass  # artifact writing must never fail a bench
+
+
+@pytest.fixture
+def table_out():
+    """Fixture handing benches the emit helper."""
+    return emit

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Adversarial showdown: the paper's lower bounds, live.
+
+Runs each executable lower-bound construction against real algorithms
+and prints the certified round counts next to the paper's guarantees:
+
+* Theorem 2 — the clique-bridge network: a 2-broadcastable network where
+  every deterministic algorithm can be forced past n−3 rounds purely by
+  choosing where one identity sits.
+* Theorem 12 — the layered-pairs network: the candidate-set adversary
+  certifies Ω(n log n) rounds.
+* Theorem 11 (shape) — the directed pivot-layer network: layer-gated
+  progress forces ~n^{3/2} rounds, and the prediction is replayed in the
+  real engine to the exact round.
+
+Run:
+    python examples/adversarial_showdown.py
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    make_round_robin_processes,
+    make_strong_select_processes,
+)
+from repro.graphs import pivot_layers
+from repro.lowerbounds import (
+    theorem2_lower_bound,
+    theorem11_lower_bound,
+    theorem12_construction,
+    verify_with_engine,
+)
+
+
+def theorem2_section() -> None:
+    print("== Theorem 2: identity placement alone forces Ω(n) ==")
+    rows = []
+    for name, factory in (
+        ("round_robin", make_round_robin_processes),
+        ("strong_select", lambda n: make_strong_select_processes(n)),
+    ):
+        for n in (12, 24, 48):
+            res = theorem2_lower_bound(factory, n)
+            rows.append(
+                [name, n, res.worst_rounds, n - 3, res.worst_bridge_uid]
+            )
+    print(
+        render_table(
+            ["algorithm", "n", "worst-case rounds", "paper bound n-3",
+             "worst bridge identity"],
+            rows,
+        )
+    )
+    print()
+
+
+def theorem12_section() -> None:
+    print("== Theorem 12: the candidate-set adversary (Ω(n log n)) ==")
+    rows = []
+    for n in (17, 33, 65):
+        res = theorem12_construction(make_round_robin_processes, n)
+        rows.append(
+            [
+                n,
+                res.total_rounds,
+                f"{res.paper_total_guarantee:.0f}",
+                len(res.stages),
+                res.min_early_stage_rounds,
+            ]
+        )
+    print(
+        render_table(
+            ["n", "certified rounds", "paper guarantee", "stages",
+             "min early-stage rounds"],
+            rows,
+        )
+    )
+    print()
+
+
+def theorem11_section() -> None:
+    print("== Theorem 11 shape: directed pivot layers (~n^1.5) ==")
+    rows = []
+    for side in (4, 5, 6):
+        layout = pivot_layers(side, side)
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout
+        )
+        trace = verify_with_engine(make_round_robin_processes, layout, res)
+        rows.append(
+            [
+                layout.graph.n,
+                res.total_rounds,
+                f"{res.normalized:.2f}",
+                trace.completion_round,
+                "exact" if trace.completion_round == res.total_rounds
+                else "MISMATCH",
+            ]
+        )
+    print(
+        render_table(
+            ["n", "predicted rounds", "rounds/n^1.5",
+             "engine replay rounds", "agreement"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The engine replay runs the actual network + runtime adversary\n"
+        "with the computed worst-case identity mapping: the sandbox\n"
+        "argument and the operational model agree round-for-round."
+    )
+
+
+def main() -> None:
+    theorem2_section()
+    theorem12_section()
+    theorem11_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gray-zone sensor network study.
+
+The paper motivates unreliable links with the *communication gray zone*
+phenomenon (Lundgren et al. [24]): beyond the radius where packets are
+received reliably lies an annulus where reception is hit-or-miss.  This
+example builds geometric networks with exactly that structure, then asks
+the question a deployment engineer would: **how much does broadcast slow
+down as the gray zone grows**, under progressively nastier link
+behaviour?
+
+Run:
+    python examples/gray_zone_network.py
+"""
+
+from repro import broadcast
+from repro.adversaries import (
+    GreedyInterferer,
+    NoDeliveryAdversary,
+    RandomDeliveryAdversary,
+)
+from repro.analysis import render_table, summarize
+from repro.graphs import gray_zone
+
+
+def completion(network, algorithm, adversary, seeds):
+    rounds = []
+    for seed in seeds:
+        trace = broadcast(
+            network,
+            algorithm,
+            adversary=adversary,
+            seed=seed,
+            algorithm_params={"T": 6} if algorithm == "harmonic" else {},
+        )
+        if not trace.completed:
+            return None
+        rounds.append(trace.completion_round)
+    return summarize(rounds)
+
+
+def main() -> None:
+    n = 36
+    seeds = range(5)
+    print(f"{n}-node geometric networks; reliable radius 0.35")
+    print()
+
+    rows = []
+    for gray_radius in (0.35, 0.5, 0.7):
+        network, _positions = gray_zone(
+            n, reliable_radius=0.35, gray_radius=gray_radius, seed=11
+        )
+        gray_links = (
+            len(network.all_edges()) - len(network.reliable_edges())
+        ) // 2
+        for algorithm in ("strong_select", "harmonic", "round_robin"):
+            for adv_name, adversary in (
+                ("links never fire", NoDeliveryAdversary()),
+                ("links fire 50%", RandomDeliveryAdversary(0.5, seed=3)),
+                ("worst-case interferer", GreedyInterferer()),
+            ):
+                summary = completion(network, algorithm, adversary, seeds)
+                rows.append(
+                    [
+                        f"{gray_radius:.2f} ({gray_links} links)",
+                        algorithm,
+                        adv_name,
+                        summary.format() if summary else "stalled",
+                    ]
+                )
+    print(
+        render_table(
+            ["gray radius", "algorithm", "gray-zone behaviour",
+             "completion rounds"],
+            rows,
+            title="broadcast latency vs gray-zone size",
+        )
+    )
+    print()
+    print(
+        "Reading the table: a bigger gray zone never helps the worst case\n"
+        "(more adversary-controlled links), even though those same links\n"
+        "can speed things up when they happen to fire — which is exactly\n"
+        "why ETX-style link culling exists, and why the dual graph model\n"
+        "charges unreliable links to the adversary."
+    )
+
+
+if __name__ == "__main__":
+    main()

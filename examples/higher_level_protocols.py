@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Higher-level protocols on the dual graph model.
+
+The paper's introduction sells broadcast as *"a powerful primitive: it
+can be used to simulate a single-hop network on top of a multi-hop
+network, greatly simplifying the design and analysis of higher-level
+algorithms."*  This example builds two floors on top of the primitive:
+
+1. **All-to-all gossip** — every node learns every node's rumor via an
+   interference-immune round-robin rumor exchange; the worst-case
+   adversary cannot slow it at all (lone transmissions are
+   adversary-proof).
+2. **Topology control** — sparse reliable backbones (BFS tree and a
+   degree-bounded tree) and what they do / don't buy in a dual graph:
+   self-contention shrinks, the adversary's interference surface does
+   not.
+
+Run:
+    python examples/higher_level_protocols.py
+"""
+
+from repro.adversaries import GreedyInterferer, NoDeliveryAdversary
+from repro.analysis import bars, render_table
+from repro.extensions import (
+    bfs_backbone,
+    contention_profile,
+    degree_bounded_backbone,
+    run_gossip,
+)
+from repro.graphs import gnp_dual, with_complete_unreliable, line
+
+
+def gossip_study() -> None:
+    print("== Gossip: the single-hop abstraction, adversary-proof ==")
+    rows = []
+    for name, network in (
+        ("random dual (n=24)", gnp_dual(24, seed=6)),
+        ("hard line (n=16)", with_complete_unreliable(line(16))),
+    ):
+        benign = run_gossip(network, adversary=NoDeliveryAdversary(),
+                            seed=1)
+        attacked = run_gossip(network, adversary=GreedyInterferer(),
+                              seed=1)
+        rows.append(
+            [
+                name,
+                benign.rounds,
+                attacked.rounds,
+                "yes" if attacked.rounds == benign.rounds else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["network", "benign rounds", "attacked rounds",
+             "adversary-immune"],
+            rows,
+        )
+    )
+    print()
+
+
+def topology_control_study() -> None:
+    print("== Topology control: what a backbone buys in a dual graph ==")
+    network = gnp_dual(32, p_reliable=0.25, p_unreliable=0.2, seed=8)
+    variants = {
+        "full graph": network,
+        "BFS backbone": bfs_backbone(network),
+        "degree-3 backbone": degree_bounded_backbone(network,
+                                                     max_degree=3),
+    }
+    rows = []
+    for name, g in variants.items():
+        p = contention_profile(g)
+        rows.append(
+            [
+                name,
+                p.total_reliable_edges,
+                p.max_reliable_degree,
+                p.eccentricity,
+                p.adversarial_inroads,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "topology",
+                "reliable edges",
+                "max degree",
+                "eccentricity",
+                "adversarial inroads",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        bars(
+            [(name, contention_profile(g).max_reliable_degree)
+             for name, g in variants.items()],
+            title="max reliable degree (self-contention)",
+            width=40,
+        )
+    )
+    print()
+    print(
+        "The dual-graph moral: sparsification reduces how much the\n"
+        "protocol interferes with itself, but every reliable edge you\n"
+        "drop joins the adversary's arsenal — the interference surface\n"
+        "('adversarial inroads') only grows.  Classical topology-control\n"
+        "intuition does not transfer unmodified; the paper flags exactly\n"
+        "this as open future work."
+    )
+
+
+def main() -> None:
+    gossip_study()
+    topology_control_study()
+
+
+if __name__ == "__main__":
+    main()

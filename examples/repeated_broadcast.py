@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Repeated broadcast with topology learning — the paper's future work.
+
+Section 8 of the paper proposes studying *repeated* broadcast in dual
+graphs, improving long-term efficiency by learning the topology.  This
+example runs the natural first protocol (discover once with Strong
+Select, then broadcast along the learned informed-order permutation) and
+shows both sides of the story:
+
+* against **stochastic** unreliability, the learned schedule approaches
+  one ``n``-round cycle per message — much cheaper than rediscovering;
+* an **ETX-style estimator** watching the same executions recovers the
+  true reliable topology from the noise;
+* against the **worst-case** interferer, learning still works here —
+  but only because informed-order is realisable over reliable links on
+  these networks; the paper's lower bounds say no learned schedule can
+  be guaranteed in general.
+
+Run:
+    python examples/repeated_broadcast.py
+"""
+
+from repro import broadcast
+from repro.adversaries import (
+    GreedyInterferer,
+    NoDeliveryAdversary,
+    RandomDeliveryAdversary,
+)
+from repro.analysis import render_table, summarize
+from repro.extensions import LinkQualityEstimator, RepeatedBroadcastSession
+from repro.graphs import gnp_dual
+
+
+def session_study() -> None:
+    n = 40
+    network = gnp_dual(n, p_reliable=0.08, p_unreliable=0.3, seed=9)
+    print(f"network: {network.name} (ecc={network.source_eccentricity})")
+    print()
+
+    rows = []
+    for label, adv_factory in (
+        ("stochastic links (p=0.5)",
+         lambda: RandomDeliveryAdversary(0.5, seed=17)),
+        ("links never fire", NoDeliveryAdversary),
+        ("worst-case interferer", GreedyInterferer),
+    ):
+        session = RepeatedBroadcastSession(
+            network, adv_factory, seed=3
+        )
+        report = session.run(num_messages=8)
+        rows.append(
+            [
+                label,
+                report.discovery_rounds,
+                f"{report.steady_state_mean:.1f}",
+                max(report.message_rounds),
+                report.rediscoveries,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "link behaviour",
+                "discovery rounds (msg 1)",
+                "mean rounds/msg after learning",
+                "worst msg",
+                "rediscoveries",
+            ],
+            rows,
+            title=f"repeated broadcast of 8 messages, n={n}",
+        )
+    )
+    print()
+    print(
+        "Learning pays: one-shot discovery costs what Theorem 10 predicts,\n"
+        "while each later message rides a collision-free learned cycle\n"
+        "bounded by n·ecc and typically close to n."
+    )
+    print()
+
+
+def link_quality_study() -> None:
+    n = 30
+    network = gnp_dual(n, p_reliable=0.1, p_unreliable=0.3, seed=4)
+    estimator = LinkQualityEstimator(network)
+    # Watch a few noisy broadcasts, ETX-style.
+    for seed in range(6):
+        trace = broadcast(
+            network,
+            "harmonic",
+            adversary=RandomDeliveryAdversary(0.5, seed=seed),
+            algorithm_params={"T": 4},
+            seed=seed,
+        )
+        estimator.observe(trace)
+
+    false_pos, false_neg = estimator.recovered_reliable_set(
+        threshold=0.95, min_attempts=3
+    )
+    measured = estimator.measured_links()
+    print("== ETX-style link quality assessment ==")
+    print(f"links with data: {len(measured)}")
+    print(
+        f"believed-reliable links that are actually unreliable: "
+        f"{len(false_pos)}"
+    )
+    print(
+        f"true reliable links misjudged or unmeasured: {len(false_neg)}"
+    )
+    culled = estimator.cull(threshold=0.95, min_attempts=3)
+    print(f"culled topology: {culled.name}")
+    print(
+        "  reliable-edge count "
+        f"{len(network.reliable_edges())} -> believed "
+        f"{len(culled.reliable_edges())}"
+    )
+    print()
+    print(
+        "Against random link noise the estimator converges on the truth;\n"
+        "against a worst-case adversary no amount of probing can — links\n"
+        "may behave perfectly right up until the estimate is trusted.\n"
+        "That gap is why the paper's algorithms assume no topology\n"
+        "knowledge at all."
+    )
+
+
+def main() -> None:
+    session_study()
+    link_quality_study()
+
+
+if __name__ == "__main__":
+    main()

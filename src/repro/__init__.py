@@ -1,0 +1,44 @@
+"""repro — a reproduction of *Broadcasting in Unreliable Radio Networks*
+(Kuhn, Lynch, Newport, Oshman, Richa; PODC 2010).
+
+The package implements the dual graph radio network model, the paper's two
+broadcast algorithms (deterministic Strong Select and randomized Harmonic
+Broadcast), classical baselines, executable versions of every lower-bound
+construction, and the analysis tooling used to regenerate the paper's
+tables.
+
+Quickstart::
+
+    from repro import broadcast
+    from repro.graphs import gnp_dual
+
+    trace = broadcast(gnp_dual(64, seed=1), "harmonic", seed=7)
+    print(trace.completion_round)
+"""
+
+from repro.core.runner import (
+    algorithm_names,
+    broadcast,
+    make_processes,
+    register_algorithm,
+)
+from repro.graphs.dualgraph import DualGraph
+from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode
+from repro.sim.collision import CollisionRule
+from repro.sim.trace import ExecutionTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BroadcastEngine",
+    "CollisionRule",
+    "DualGraph",
+    "EngineConfig",
+    "ExecutionTrace",
+    "StartMode",
+    "__version__",
+    "algorithm_names",
+    "broadcast",
+    "make_processes",
+    "register_algorithm",
+]

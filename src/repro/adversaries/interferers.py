@@ -1,0 +1,135 @@
+"""Adaptive interfering adversaries.
+
+These adversaries actively try to slow broadcast down:
+
+* :class:`GreedyInterferer` — the generic worst-case heuristic: whenever an
+  uninformed node is about to receive exactly one message over reliable
+  links, the adversary deploys unreliable links from *other* concurrent
+  senders to turn the reception into a collision; and it resolves CR4
+  collisions to silence.  Against a single isolated sender it is powerless
+  (reliable links always deliver), which is exactly the leverage the
+  paper's algorithms are designed around.
+* :class:`PivotAdversary` — the Theorem-11 companion: on a
+  :func:`~repro.graphs.constructions.pivot_layers` network it withholds all
+  unreliable deliveries except to blanket the next layer with collisions
+  whenever the frontier pivot transmits concurrently with anyone else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.adversaries.base import Adversary, AdversaryView
+from repro.graphs.constructions import PivotLayersLayout
+from repro.sim.messages import Message
+
+
+class GreedyInterferer(Adversary):
+    """Collide every almost-successful reception it legally can.
+
+    For each uninformed node ``u`` receiving exactly one reliable arrival,
+    the adversary looks for another concurrent sender ``w`` with an
+    unreliable edge ``(w, u)`` and schedules it, producing a collision at
+    ``u``.  CR4 collisions resolve to silence.
+
+    This is the strongest *generic* adversary in the package: it needs no
+    knowledge of the algorithm, only of the current round's senders.
+    """
+
+    def choose_deliveries(
+        self, view: AdversaryView
+    ) -> Dict[int, FrozenSet[int]]:
+        network = view.network
+        senders = sorted(view.senders)
+        # Count reliable arrivals at every node.
+        reliable_arrivals: Dict[int, int] = {}
+        for s in senders:
+            for t in network.reliable_out(s):
+                reliable_arrivals[t] = reliable_arrivals.get(t, 0) + 1
+        for s in senders:
+            # A sender's own message reaches itself.
+            reliable_arrivals[s] = reliable_arrivals.get(s, 0) + 1
+
+        chosen: Dict[int, set] = {}
+        for u in network.nodes:
+            if u in view.informed:
+                continue
+            if reliable_arrivals.get(u, 0) != 1:
+                continue
+            # Find an interfering sender with an unreliable edge to u.
+            for w in senders:
+                if u in network.unreliable_only_out(w):
+                    chosen.setdefault(w, set()).add(u)
+                    break
+        return {w: frozenset(ts) for w, ts in chosen.items()}
+
+    def resolve_cr4(
+        self, view: AdversaryView, node: int, arrivals: List[Message]
+    ) -> Optional[Message]:
+        return None  # silence: the collision conveys nothing
+
+
+class PivotAdversary(Adversary):
+    """The runtime adversary for the Theorem-11 pivot-layer experiment.
+
+    Invariants maintained on a :class:`PivotLayersLayout` network whose
+    per-layer pivot nodes carry adversarially chosen process identities
+    (the identity choice is made by the Theorem-11 driver, which passes a
+    per-layer pivot node table here):
+
+    * Unreliable links stay silent by default, so a lone non-pivot sender
+      in the frontier layer informs nobody new (its reliable out-edges are
+      empty beyond its own layer's pivot-mediated structure).
+    * Whenever the frontier pivot transmits concurrently with any other
+      active process, the adversary delivers that other process's
+      unreliable blanket edges into the next layer, colliding the pivot's
+      reliable delivery there.
+    * CR4 collisions resolve to silence.
+
+    Args:
+        layout: The pivot-layer network layout.
+        pivots: For each layer index ``k`` (0-based), the node in layer
+            ``k`` that owns the reliable edges into layer ``k+1``.  In the
+            :func:`~repro.graphs.constructions.pivot_layers` construction
+            this is the first node of each layer.
+    """
+
+    def __init__(
+        self, layout: PivotLayersLayout, pivots: Optional[Sequence[int]] = None
+    ) -> None:
+        self.layout = layout
+        if pivots is None:
+            pivots = [layer[0] for layer in layout.layers]
+        self.pivots = list(pivots)
+        self._layer_of: Dict[int, int] = {}
+        for k, layer in enumerate(layout.layers):
+            for v in layer:
+                self._layer_of[v] = k
+
+    def choose_deliveries(
+        self, view: AdversaryView
+    ) -> Dict[int, FrozenSet[int]]:
+        layers = self.layout.layers
+        senders = set(view.senders)
+        chosen: Dict[int, set] = {}
+        # For every layer whose pivot transmits this round, collide its
+        # reliable delivery into layer j+1 using any concurrent sender
+        # that has blanket edges there (i.e. any sender in layers ≤ j).
+        for j in range(len(layers) - 1):
+            pivot = self.pivots[j]
+            if pivot not in senders:
+                continue
+            next_layer = frozenset(layers[j + 1])
+            for w in sorted(senders - {pivot}):
+                if self._layer_of[w] > j:
+                    continue  # no edges into layer j+1
+                targets = view.network.unreliable_only_out(w) & next_layer
+                if targets:
+                    chosen.setdefault(w, set()).update(targets)
+                    break  # one colliding message suffices
+        return {w: frozenset(ts) for w, ts in chosen.items()}
+
+    def resolve_cr4(
+        self, view: AdversaryView, node: int, arrivals: List[Message]
+    ) -> Optional[Message]:
+        return None

@@ -1,0 +1,96 @@
+"""Oblivious and stochastic adversaries.
+
+These model benign-to-moderate unreliability: links that flap randomly
+rather than maliciously.  They are the right adversaries for the
+"realistic workload" examples (gray-zone networks) and for calibrating how
+much of an algorithm's slowdown is due to adversarial scheduling versus
+mere link noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.adversaries.base import Adversary, AdversaryView
+from repro.sim.messages import Message
+
+
+class RandomDeliveryAdversary(Adversary):
+    """Each unreliable link independently delivers with probability ``p``.
+
+    Args:
+        p: Per-link per-round delivery probability.
+        seed: PRNG seed (the adversary's randomness is independent of the
+            processes').
+        cr4_mode: How CR4 collisions at non-senders resolve:
+            ``"silence"`` (always ``⊥``), ``"first"`` (deliver the message
+            from the lowest-uid sender), or ``"random"`` (uniformly choose
+            silence or one of the arrivals).
+    """
+
+    def __init__(
+        self, p: float, seed: int = 0, cr4_mode: str = "silence"
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if cr4_mode not in ("silence", "first", "random"):
+            raise ValueError(f"unknown cr4_mode {cr4_mode!r}")
+        self.p = p
+        self._rng = random.Random(seed)
+        self.cr4_mode = cr4_mode
+
+    def choose_deliveries(
+        self, view: AdversaryView
+    ) -> Dict[int, FrozenSet[int]]:
+        out: Dict[int, FrozenSet[int]] = {}
+        for sender in sorted(view.senders):
+            targets = frozenset(
+                t
+                for t in sorted(view.network.unreliable_only_out(sender))
+                if self._rng.random() < self.p
+            )
+            if targets:
+                out[sender] = targets
+        return out
+
+    def resolve_cr4(
+        self, view: AdversaryView, node: int, arrivals: List[Message]
+    ) -> Optional[Message]:
+        if self.cr4_mode == "silence":
+            return None
+        if self.cr4_mode == "first":
+            return min(arrivals, key=lambda m: m.sender)
+        choice = self._rng.randrange(len(arrivals) + 1)
+        if choice == len(arrivals):
+            return None
+        return arrivals[choice]
+
+
+class FlappingLinkAdversary(Adversary):
+    """Links alternate between up and down phases of fixed lengths.
+
+    A coarse model of periodic interference (e.g. a co-channel device with
+    a duty cycle): every unreliable link is simultaneously up for
+    ``up_rounds`` rounds, then down for ``down_rounds`` rounds, repeating.
+    Deterministic — useful for reproducible worst-ish cases in tests.
+    """
+
+    def __init__(self, up_rounds: int = 1, down_rounds: int = 1) -> None:
+        if up_rounds < 0 or down_rounds < 0 or up_rounds + down_rounds == 0:
+            raise ValueError("phase lengths must be non-negative, not both 0")
+        self.up_rounds = up_rounds
+        self.down_rounds = down_rounds
+
+    def _is_up(self, round_number: int) -> bool:
+        period = self.up_rounds + self.down_rounds
+        return (round_number - 1) % period < self.up_rounds
+
+    def choose_deliveries(
+        self, view: AdversaryView
+    ) -> Dict[int, FrozenSet[int]]:
+        if not self._is_up(view.round_number):
+            return {}
+        return {
+            v: view.network.unreliable_only_out(v) for v in view.senders
+        }

@@ -1,0 +1,43 @@
+"""Analysis utilities: statistics, complexity fits, busy-round accounting,
+and paper-style table rendering."""
+
+from repro.analysis.density import (
+    busy_round_count,
+    busy_rounds,
+    free_round_prefix_equal_point,
+    front_loaded_pattern,
+    is_busy,
+    probability_mass,
+    wakeup_pattern_of,
+)
+from repro.analysis.fitting import (
+    PowerLawFit,
+    best_fit,
+    fit_power_law,
+    growth_ratio_check,
+)
+from repro.analysis.plots import bars, scatter
+from repro.analysis.stats import Summary, quantile, seed_sweep, summarize
+from repro.analysis.tables import render_kv, render_table
+
+__all__ = [
+    "PowerLawFit",
+    "Summary",
+    "bars",
+    "best_fit",
+    "scatter",
+    "busy_round_count",
+    "busy_rounds",
+    "fit_power_law",
+    "free_round_prefix_equal_point",
+    "front_loaded_pattern",
+    "growth_ratio_check",
+    "is_busy",
+    "probability_mass",
+    "quantile",
+    "render_kv",
+    "render_table",
+    "seed_sweep",
+    "summarize",
+    "wakeup_pattern_of",
+]

@@ -1,0 +1,115 @@
+"""Complexity-model fitting: does the measured ``T(n)`` match the bound?
+
+The paper's upper bounds have the form ``T(n) = c · n^a · (log n)^b`` —
+Strong Select at ``(a, b) = (3/2, 1/2)``, Harmonic at ``(1, 2)``, round
+robin on constant-eccentricity networks at ``(1, 0)``.  We fit ``a`` by
+log–log least squares for each candidate ``b`` on a small grid and keep
+the best ``R²``; the benchmark harnesses then compare the fitted ``a``
+against the paper's exponent (the reproduction contract is about *shape*,
+so ``a`` is the headline number and ``b`` a refinement).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """The fitted model ``T(n) ≈ c · n^a · (log₂ n)^b``.
+
+    Attributes:
+        exponent: The fitted ``a``.
+        log_exponent: The ``b`` used (fixed per fit; chosen by grid).
+        coefficient: The fitted ``c``.
+        r_squared: Coefficient of determination in log space.
+    """
+
+    exponent: float
+    log_exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """The model's prediction at ``n``."""
+        return (
+            self.coefficient
+            * n**self.exponent
+            * max(1.0, math.log2(n)) ** self.log_exponent
+        )
+
+    def format(self) -> str:
+        parts = [f"{self.coefficient:.3g} * n^{self.exponent:.3f}"]
+        if self.log_exponent:
+            parts.append(f"* (log n)^{self.log_exponent:g}")
+        parts.append(f"(R^2={self.r_squared:.4f})")
+        return " ".join(parts)
+
+
+def fit_power_law(
+    ns: Sequence[float],
+    ts: Sequence[float],
+    log_exponent: float = 0.0,
+) -> PowerLawFit:
+    """Least-squares fit of ``a`` and ``c`` with ``b`` held fixed.
+
+    Args:
+        ns: Problem sizes (``> 1``).
+        ts: Measurements (``> 0``), same length as ``ns``.
+        log_exponent: The fixed ``b``.
+
+    Raises:
+        ValueError: On fewer than two points or non-positive inputs.
+    """
+    if len(ns) != len(ts):
+        raise ValueError("ns and ts must have the same length")
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit")
+    if any(n <= 1 for n in ns) or any(t <= 0 for t in ts):
+        raise ValueError("need n > 1 and t > 0 for a log-log fit")
+    x = np.log([float(n) for n in ns])
+    adjusted = [
+        math.log(t) - log_exponent * math.log(math.log2(n))
+        for n, t in zip(ns, ts)
+    ]
+    y = np.array(adjusted)
+    slope, intercept = np.polyfit(x, y, 1)
+    predictions = slope * x + intercept
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=float(slope),
+        log_exponent=log_exponent,
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def best_fit(
+    ns: Sequence[float],
+    ts: Sequence[float],
+    log_exponents: Iterable[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+) -> PowerLawFit:
+    """Fit over a grid of ``b`` values and return the best-``R²`` model."""
+    fits = [fit_power_law(ns, ts, b) for b in log_exponents]
+    return max(fits, key=lambda f: f.r_squared)
+
+
+def growth_ratio_check(
+    ns: Sequence[float],
+    ts: Sequence[float],
+    reference: float,
+    tolerance: float = 0.35,
+) -> Tuple[bool, float]:
+    """Whether the fitted exponent is within ``tolerance`` of ``reference``.
+
+    Returns ``(ok, fitted_exponent)``; a coarse but robust shape check
+    used by integration tests (benchmarks report the full fit).
+    """
+    fit = best_fit(ns, ts)
+    return abs(fit.exponent - reference) <= tolerance, fit.exponent

@@ -1,0 +1,141 @@
+"""ASCII charts for terminal-friendly experiment output.
+
+Matplotlib is deliberately not a dependency: the benches run in CI-like
+environments and their artefacts are text.  Two chart types cover what
+the experiments need — an x/y scatter with optional multiple series
+(growth curves), and a horizontal bar chart (comparisons).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _nice_label(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def scatter(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render one or more point series on a shared canvas.
+
+    Each series gets a marker (``*``, ``o``, ``x``, ``+``, …) recorded in
+    the legend.  Log scaling is applied per axis when requested (points
+    must then be positive).
+
+    Args:
+        series: Mapping from series name to its ``(x, y)`` points.
+        width: Canvas width in characters (plot area).
+        height: Canvas height in lines.
+        title: Optional title line.
+        logx: Use log₁₀ on the x axis.
+        logy: Use log₁₀ on the y axis.
+    """
+    markers = "*ox+#%@&"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ValueError("nothing to plot")
+
+    def tx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("log x-axis needs positive values")
+            return math.log10(x)
+        return x
+
+    def ty(y: float) -> float:
+        if logy:
+            if y <= 0:
+                raise ValueError("log y-axis needs positive values")
+            return math.log10(y)
+        return y
+
+    xs = [tx(x) for x, _ in all_points]
+    ys = [ty(y) for _, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = int((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = _nice_label(10**y_hi if logy else y_hi)
+    y_lo_label = _nice_label(10**y_lo if logy else y_lo)
+    label_w = max(len(y_hi_label), len(y_lo_label))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(label_w)
+        elif i == height - 1:
+            label = y_lo_label.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row_cells)}")
+    x_lo_label = _nice_label(10**x_lo if logx else x_lo)
+    x_hi_label = _nice_label(10**x_hi if logx else x_hi)
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w
+        + "  "
+        + x_lo_label
+        + " " * max(1, width - len(x_lo_label) - len(x_hi_label))
+        + x_hi_label
+    )
+    legend = "   ".join(
+        f"{marker} {name}"
+        for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def bars(
+    items: Iterable[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart.
+
+    Args:
+        items: ``(label, value)`` pairs; values must be non-negative.
+        width: Maximum bar width in characters.
+        title: Optional title line.
+        unit: Suffix appended to the value labels.
+    """
+    data = list(items)
+    if not data:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for _, v in data):
+        raise ValueError("bar values must be non-negative")
+    peak = max(v for _, v in data) or 1.0
+    label_w = max(len(label) for label, _ in data)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in data:
+        bar = "█" * max(0, round(value / peak * width))
+        if value > 0 and not bar:
+            bar = "▏"
+        lines.append(
+            f"{label.rjust(label_w)} | {bar} {_nice_label(value)}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Summary statistics and seed sweeps for experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample.
+
+    Attributes:
+        count: Sample size.
+        mean: Arithmetic mean.
+        median: Median.
+        stdev: Sample standard deviation (0 for singletons).
+        minimum: Smallest observation.
+        maximum: Largest observation.
+        ci95_half_width: Half-width of a normal-approximation 95%
+            confidence interval for the mean.
+    """
+
+    count: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci95_half_width: float
+
+    def format(self, precision: int = 1) -> str:
+        """Human-readable ``mean ± ci [min, max]`` rendering."""
+        return (
+            f"{self.mean:.{precision}f} ± {self.ci95_half_width:.{precision}f}"
+            f" [{self.minimum:.{precision}f}, {self.maximum:.{precision}f}]"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of the sample.
+
+    Raises:
+        ValueError: On an empty sample.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    stdev = statistics.stdev(data) if len(data) > 1 else 0.0
+    return Summary(
+        count=len(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        stdev=stdev,
+        minimum=min(data),
+        maximum=max(data),
+        ci95_half_width=1.96 * stdev / math.sqrt(len(data)),
+    )
+
+
+def seed_sweep(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+) -> Summary:
+    """Run a seeded experiment once per seed and summarize the results.
+
+    Args:
+        run: ``run(seed) -> measurement``.
+        seeds: The seeds to sweep.
+    """
+    return summarize(run(seed) for seed in seeds)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (linear interpolation, ``0 ≤ q ≤ 1``)."""
+    if not values:
+        raise ValueError("cannot take a quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    data = sorted(float(v) for v in values)
+    if len(data) == 1:
+        return data[0]
+    pos = q * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac

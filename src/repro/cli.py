@@ -1,0 +1,284 @@
+"""Command-line interface: run broadcasts and experiments from a shell.
+
+Usage (module form)::
+
+    python -m repro run --graph gnp --n 64 --algorithm harmonic \
+        --adversary greedy --seed 7
+    python -m repro sweep --graph clique-bridge --algorithm strong_select \
+        --sizes 16,32,64 --seeds 0,1,2
+    python -m repro lowerbound --theorem 2 --n 32
+    python -m repro lowerbound --theorem 12 --n 33 --algorithm round_robin
+
+Everything the CLI can do is a thin layer over the library API; the CLI
+exists so experiments are reproducible from shell history alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.adversaries import (
+    FullDeliveryAdversary,
+    GreedyInterferer,
+    NoDeliveryAdversary,
+    RandomDeliveryAdversary,
+)
+from repro.analysis import best_fit, render_table, summarize
+from repro.core.runner import algorithm_names, broadcast, make_processes
+from repro.graphs import (
+    clique_bridge,
+    gnp_dual,
+    gray_zone,
+    grid,
+    layered_pairs,
+    line,
+    pivot_layers_for_n,
+    ring,
+    with_complete_unreliable,
+)
+
+GRAPHS = {
+    "gnp": lambda n, seed: gnp_dual(n, seed=seed),
+    "line": lambda n, seed: line(n),
+    "hard-line": lambda n, seed: with_complete_unreliable(line(n)),
+    "ring": lambda n, seed: ring(max(3, n)),
+    "grid": lambda n, seed: grid(max(2, int(n**0.5)),
+                                 max(2, int(n**0.5))),
+    "gray-zone": lambda n, seed: gray_zone(n, seed=seed)[0],
+    "clique-bridge": lambda n, seed: clique_bridge(max(3, n)).graph,
+    "layered-pairs": lambda n, seed: layered_pairs(
+        n if n % 2 else n + 1
+    ).graph,
+    "pivot-layers": lambda n, seed: pivot_layers_for_n(n).graph,
+}
+
+ADVERSARIES = {
+    "none": lambda args: NoDeliveryAdversary(),
+    "full": lambda args: FullDeliveryAdversary(),
+    "random": lambda args: RandomDeliveryAdversary(
+        args.p, seed=args.seed
+    ),
+    "greedy": lambda args: GreedyInterferer(),
+}
+
+
+def _build_graph(name: str, n: int, seed: int):
+    try:
+        factory = GRAPHS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown graph {name!r}; choose from {sorted(GRAPHS)}"
+        )
+    return factory(n, seed)
+
+
+def _build_adversary(args):
+    try:
+        factory = ADVERSARIES[args.adversary]
+    except KeyError:
+        raise SystemExit(
+            f"unknown adversary {args.adversary!r}; "
+            f"choose from {sorted(ADVERSARIES)}"
+        )
+    return factory(args)
+
+
+def cmd_run(args) -> int:
+    graph = _build_graph(args.graph, args.n, args.seed)
+    trace = broadcast(
+        graph,
+        args.algorithm,
+        adversary=_build_adversary(args),
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+    )
+    if args.json:
+        print(trace.to_json())
+    else:
+        print(
+            render_table(
+                ["quantity", "value"],
+                list(trace.summary().items()),
+                title=f"{args.algorithm} on {graph.name}",
+            )
+        )
+    return 0 if trace.completed else 1
+
+
+def cmd_sweep(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",")]
+    rows = []
+    means = []
+    for n in sizes:
+        rounds: List[int] = []
+        for seed in seeds:
+            graph = _build_graph(args.graph, n, seed)
+            trace = broadcast(
+                graph,
+                args.algorithm,
+                adversary=_build_adversary(args),
+                seed=seed,
+                max_rounds=args.max_rounds,
+            )
+            if not trace.completed:
+                print(
+                    f"warning: n={n} seed={seed} hit the round cap",
+                    file=sys.stderr,
+                )
+                continue
+            rounds.append(trace.completion_round)
+        summary = summarize(rounds) if rounds else None
+        means.append(summary.mean if summary else float("nan"))
+        rows.append([n, summary.format() if summary else "—"])
+    print(
+        render_table(
+            ["n", "completion rounds"],
+            rows,
+            title=(
+                f"{args.algorithm} on {args.graph}, adversary="
+                f"{args.adversary}, seeds={seeds}"
+            ),
+        )
+    )
+    if len(sizes) >= 2 and all(m == m for m in means):
+        fit = best_fit(sizes, means)
+        print(f"growth fit: {fit.format()}")
+    return 0
+
+
+def cmd_lowerbound(args) -> int:
+    from repro.core import (
+        make_round_robin_processes,
+        make_strong_select_processes,
+    )
+    from repro.lowerbounds import (
+        theorem2_lower_bound,
+        theorem11_lower_bound,
+        theorem12_construction,
+    )
+
+    factories = {
+        "round_robin": make_round_robin_processes,
+        "strong_select": lambda n: make_strong_select_processes(n),
+    }
+    try:
+        factory = factories[args.algorithm]
+    except KeyError:
+        raise SystemExit(
+            "lower-bound drivers need a deterministic algorithm: "
+            f"{sorted(factories)}"
+        )
+
+    if args.theorem == 2:
+        res = theorem2_lower_bound(factory, args.n)
+        print(
+            render_table(
+                ["quantity", "value"],
+                [
+                    ["n", res.n],
+                    ["worst-case rounds", res.worst_rounds],
+                    ["paper bound (n-3)", res.theorem_bound],
+                    ["worst bridge identity", res.worst_bridge_uid],
+                    ["bound holds", res.bound_holds],
+                ],
+                title=f"Theorem 2 vs {args.algorithm}",
+            )
+        )
+        return 0
+    if args.theorem == 11:
+        res = theorem11_lower_bound(factory, n=args.n)
+        print(
+            render_table(
+                ["quantity", "value"],
+                [
+                    ["n", res.n],
+                    ["layers x width", f"{res.num_layers} x {res.width}"],
+                    ["total rounds", res.total_rounds],
+                    ["rounds / n^1.5",
+                     f"{res.normalized:.3f}" if res.normalized else "—"],
+                ],
+                title=f"Theorem 11 vs {args.algorithm}",
+            )
+        )
+        return 0
+    if args.theorem == 12:
+        n = args.n if args.n % 2 else args.n + 1
+        res = theorem12_construction(factory, n)
+        print(
+            render_table(
+                ["quantity", "value"],
+                [
+                    ["n", res.n],
+                    ["certified rounds", res.total_rounds],
+                    ["stages", len(res.stages)],
+                    ["min early-stage rounds", res.min_early_stage_rounds],
+                    ["paper total guarantee",
+                     f"{res.paper_total_guarantee:.0f}"],
+                ],
+                title=f"Theorem 12 vs {args.algorithm}",
+            )
+        )
+        return 0
+    raise SystemExit("supported theorems: 2, 11, 12")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Broadcasting in unreliable radio networks — "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one broadcast")
+    run.add_argument("--graph", default="gnp", help=f"{sorted(GRAPHS)}")
+    run.add_argument("--n", type=int, default=32)
+    run.add_argument(
+        "--algorithm", default="strong_select",
+        help=f"{algorithm_names()}"
+    )
+    run.add_argument(
+        "--adversary", default="greedy", help=f"{sorted(ADVERSARIES)}"
+    )
+    run.add_argument("--p", type=float, default=0.5,
+                     help="delivery probability for --adversary random")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--max-rounds", type=int, default=None)
+    run.add_argument("--json", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="sweep n and fit the growth")
+    sweep.add_argument("--graph", default="gnp")
+    sweep.add_argument("--algorithm", default="strong_select")
+    sweep.add_argument("--adversary", default="greedy")
+    sweep.add_argument("--p", type=float, default=0.5)
+    sweep.add_argument("--sizes", default="16,32,64")
+    sweep.add_argument("--seeds", default="0,1,2")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--max-rounds", type=int, default=None)
+    sweep.set_defaults(func=cmd_sweep)
+
+    lb = sub.add_parser(
+        "lowerbound", help="run an executable lower-bound construction"
+    )
+    lb.add_argument("--theorem", type=int, required=True,
+                    choices=[2, 11, 12])
+    lb.add_argument("--n", type=int, default=17)
+    lb.add_argument("--algorithm", default="round_robin")
+    lb.set_defaults(func=cmd_lowerbound)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

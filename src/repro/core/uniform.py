@@ -1,0 +1,60 @@
+"""Uniform-probability (ALOHA-style) randomized baseline.
+
+The naive randomized broadcast: every informed node transmits each round
+with a fixed probability ``c/n``.  With ``c ≈ 1`` a round is a lone
+transmission with constant probability once many nodes are informed —
+but early on (few informed nodes) progress is slow: expected
+``Θ(n/k)`` rounds to get any transmission from ``k`` informed nodes, so
+completion costs ``Θ(n log n)`` even on a clique and degrades badly on
+deep topologies.
+
+Harmonic Broadcast is exactly the fix for this: its probability
+*schedule* starts at 1 and decays, matching the contention level at
+every stage.  The baseline exists to make that comparison measurable
+(see ``bench_ablations``' adversary ladder and the unit tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.messages import Message
+from repro.sim.process import Process, ProcessContext
+
+
+class UniformProcess(Process):
+    """Transmit with fixed probability ``c/n`` once informed.
+
+    Args:
+        uid: Process identifier.
+        c: Numerator of the transmission probability (default 1).
+        n: System size (defaults to the engine-supplied ``ctx.n``).
+    """
+
+    def __init__(self, uid: int, c: float = 1.0,
+                 n: Optional[int] = None) -> None:
+        super().__init__(uid)
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self._c = c
+        self._n = n
+
+    def probability(self, n: int) -> float:
+        """The per-round transmission probability."""
+        return min(1.0, self._c / n)
+
+    def decide_send(self, ctx: ProcessContext) -> Optional[Message]:
+        if not self.has_message:
+            return None
+        if ctx.rng.random() < self.probability(
+            self._n if self._n is not None else ctx.n
+        ):
+            return self.outgoing(ctx)
+        return None
+
+
+def make_uniform_processes(
+    n: int, c: float = 1.0
+) -> List[UniformProcess]:
+    """Build the full uniform-baseline process collection."""
+    return [UniformProcess(uid, c=c, n=n) for uid in range(n)]

@@ -1,0 +1,38 @@
+"""Extensions beyond the paper's core results: the future-work section
+(repeated broadcast with topology learning) and the practice-side link
+quality estimation the introduction cites."""
+
+from repro.extensions.gossip import (
+    GossipProcess,
+    GossipResult,
+    run_gossip,
+)
+from repro.extensions.link_quality import LinkQualityEstimator, LinkStats
+from repro.extensions.repeated import (
+    RepeatedBroadcastReport,
+    RepeatedBroadcastSession,
+    ScheduledProcess,
+    learned_order,
+)
+from repro.extensions.topology_control import (
+    ContentionProfile,
+    bfs_backbone,
+    contention_profile,
+    degree_bounded_backbone,
+)
+
+__all__ = [
+    "ContentionProfile",
+    "GossipProcess",
+    "GossipResult",
+    "LinkQualityEstimator",
+    "LinkStats",
+    "RepeatedBroadcastReport",
+    "RepeatedBroadcastSession",
+    "ScheduledProcess",
+    "bfs_backbone",
+    "contention_profile",
+    "degree_bounded_backbone",
+    "learned_order",
+    "run_gossip",
+]

@@ -1,0 +1,161 @@
+"""ETX-style link quality estimation (Section 1's practice reference).
+
+The paper motivates the dual graph model by noting that *"virtually
+every ad hoc radio network deployment of the last five years uses link
+quality assessment algorithms, such as ETX, to cull unreliable
+connections"*.  This module closes the loop: it watches executions and
+estimates, per directed link, the fraction of transmissions that were
+delivered — exactly the statistic ETX-family estimators accumulate —
+then *culls* links below a threshold to recover a believed-reliable
+topology.
+
+Under a stochastic adversary (links flap randomly) the estimator
+recovers ``G`` from ``G'``; under a worst-case adversary no estimator
+can (the adversary may behave perfectly until the estimate is trusted) —
+which is the gap between practice and the paper's model, and the reason
+its algorithms need no topology knowledge.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graphs.dualgraph import DualGraph, DualGraphError, Edge
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass
+class LinkStats:
+    """Delivery statistics for one directed link."""
+
+    attempts: int = 0
+    deliveries: int = 0
+
+    @property
+    def delivery_ratio(self) -> Optional[float]:
+        """Estimated delivery probability; ``None`` with no data."""
+        if self.attempts == 0:
+            return None
+        return self.deliveries / self.attempts
+
+    @property
+    def etx(self) -> Optional[float]:
+        """Expected transmissions for one delivery (the ETX metric)."""
+        ratio = self.delivery_ratio
+        if ratio is None or ratio == 0.0:
+            return None
+        return 1.0 / ratio
+
+
+class LinkQualityEstimator:
+    """Accumulates per-link delivery statistics from execution traces.
+
+    A transmission by node ``u`` counts as an *attempt* on every outgoing
+    ``G'`` link of ``u``; it counts as a *delivery* on the reliable links
+    (which always deliver) and on the unreliable links the adversary
+    chose to fire that round.  This is the omniscient-observer version of
+    what deployed estimators approximate with probe packets — sufficient
+    here, since the question under study is what topology the statistics
+    converge to, not the probing overhead.
+    """
+
+    def __init__(self, network: DualGraph) -> None:
+        self.network = network
+        self._stats: Dict[Edge, LinkStats] = defaultdict(LinkStats)
+
+    def observe(self, trace: ExecutionTrace) -> None:
+        """Fold one execution's transmissions into the statistics."""
+        for record in trace.rounds:
+            for sender in record.senders:
+                fired = record.unreliable_deliveries.get(
+                    sender, frozenset()
+                )
+                for target in self.network.reliable_out(sender):
+                    stats = self._stats[(sender, target)]
+                    stats.attempts += 1
+                    stats.deliveries += 1
+                for target in self.network.unreliable_only_out(sender):
+                    stats = self._stats[(sender, target)]
+                    stats.attempts += 1
+                    if target in fired:
+                        stats.deliveries += 1
+
+    def observe_all(self, traces: Iterable[ExecutionTrace]) -> None:
+        for trace in traces:
+            self.observe(trace)
+
+    def stats(self, u: int, v: int) -> LinkStats:
+        """Statistics for the directed link ``(u, v)``."""
+        return self._stats[(u, v)]
+
+    def measured_links(self) -> List[Tuple[Edge, LinkStats]]:
+        """All links with at least one attempt, sorted by quality."""
+        out = [
+            (edge, s) for edge, s in self._stats.items() if s.attempts > 0
+        ]
+        out.sort(key=lambda item: (-(item[1].delivery_ratio or 0), item[0]))
+        return out
+
+    def cull(
+        self,
+        threshold: float = 0.99,
+        min_attempts: int = 1,
+        name: str = "",
+    ) -> DualGraph:
+        """The believed-reliable topology: links at/above ``threshold``.
+
+        Links without enough attempts are kept (conservative: unknown
+        links cannot be condemned).  The result keeps the full ``G'`` so
+        it is still a valid dual graph of the same network.
+
+        Raises:
+            DualGraphError: If culling disconnects the source — the
+            signature of an estimator starved of data or an adversary
+            gaming the probes.
+        """
+        believed: List[Edge] = []
+        for u in self.network.nodes:
+            for v in self.network.all_out(u):
+                stats = self._stats.get((u, v))
+                if stats is None or stats.attempts < min_attempts:
+                    believed.append((u, v))
+                    continue
+                ratio = stats.delivery_ratio or 0.0
+                if ratio >= threshold:
+                    believed.append((u, v))
+        return DualGraph(
+            self.network.n,
+            believed,
+            self.network.all_edges() | set(believed),
+            source=self.network.source,
+            name=name or f"{self.network.name}|culled(>={threshold})",
+        )
+
+    def recovered_reliable_set(
+        self, threshold: float = 0.99, min_attempts: int = 1
+    ) -> Tuple[frozenset, frozenset]:
+        """Compare the culled link set against the true ``G``.
+
+        Returns ``(false_positives, false_negatives)``: measured links
+        believed reliable but actually unreliable, and true reliable
+        links that were culled or never measured.
+        """
+        believed = set()
+        for (u, v), stats in self._stats.items():
+            if stats.attempts >= min_attempts and (
+                stats.delivery_ratio or 0.0
+            ) >= threshold:
+                believed.add((u, v))
+        true_reliable = {
+            (u, v)
+            for u in self.network.nodes
+            for v in self.network.reliable_out(u)
+        }
+        measured = {
+            e for e, s in self._stats.items() if s.attempts >= min_attempts
+        }
+        false_positives = believed - true_reliable
+        false_negatives = (true_reliable & measured) - believed
+        return frozenset(false_positives), frozenset(false_negatives)

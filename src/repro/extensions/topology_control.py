@@ -1,0 +1,157 @@
+"""Topology control in dual graphs (the paper's second future-work item).
+
+Section 8: *"Topology control in dual graphs is another interesting area
+for future research."*  Topology control selects a sparse *backbone* of
+the reliable graph over which protocols operate, trading path length for
+reduced contention.  This module provides the natural baseline pair:
+
+* :func:`bfs_backbone` — a shortest-path-tree backbone rooted at the
+  source (minimum eccentricity among spanning backbones);
+* :func:`degree_bounded_backbone` — a Prim-style spanning backbone that
+  greedily respects a degree cap (lower contention per node, possibly
+  deeper).
+
+and the evaluation hook :func:`contention_profile` quantifying what the
+backbone bought: per-node reliable degree and the number of unreliable
+links the adversary can aim at backbone transmissions.
+
+The important dual-graph caveat, measurable here: sparsifying ``G``
+never removes ``G' \\ G`` — the adversary's interference edges stay, so
+(unlike in classical topology control) thinning the backbone reduces
+*self*-interference but not *adversarial* interference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graphs.dualgraph import DualGraph, Edge
+
+
+def bfs_backbone(network: DualGraph, name: str = "") -> DualGraph:
+    """The BFS spanning-tree backbone rooted at the source.
+
+    Keeps one reliable parent edge per non-source node (both directions
+    when the network is undirected); ``G'`` is unchanged.
+    """
+    parent: Dict[int, int] = {}
+    seen = {network.source}
+    queue = deque([network.source])
+    while queue:
+        u = queue.popleft()
+        for v in sorted(network.reliable_out(u)):
+            if v not in seen:
+                seen.add(v)
+                parent[v] = u
+                queue.append(v)
+    reliable: List[Edge] = []
+    for child, par in parent.items():
+        reliable.append((par, child))
+        if child in network.reliable_out(child) or par in network.reliable_out(
+            child
+        ):
+            reliable.append((child, par))
+    return DualGraph(
+        network.n,
+        reliable,
+        network.all_edges() | set(reliable),
+        source=network.source,
+        name=name or f"{network.name}|bfs-backbone",
+    )
+
+
+def degree_bounded_backbone(
+    network: DualGraph, max_degree: int = 3, name: str = ""
+) -> DualGraph:
+    """A spanning backbone whose reliable degree respects a cap.
+
+    Prim-style growth preferring low-degree attachment points; when the
+    cap cannot be respected (a cut node needs more children), it is
+    exceeded minimally rather than failing — topology control degrades
+    gracefully on stars.
+
+    Only meaningful for undirected networks (asserts symmetry).
+    """
+    if max_degree < 1:
+        raise ValueError("need max_degree >= 1")
+    if not network.is_undirected:
+        raise ValueError("degree-bounded backbone needs an undirected network")
+    degree: Dict[int, int] = {v: 0 for v in network.nodes}
+    in_tree = {network.source}
+    reliable: List[Edge] = []
+    # Priority: attach to the node whose current degree is smallest.
+    frontier: List[Tuple[int, int, int]] = []  # (parent_degree, parent, child)
+
+    def push_neighbours(u: int) -> None:
+        for v in sorted(network.reliable_out(u)):
+            if v not in in_tree:
+                heapq.heappush(frontier, (degree[u], u, v))
+
+    push_neighbours(network.source)
+    while len(in_tree) < network.n:
+        while True:
+            if not frontier:
+                raise RuntimeError(
+                    "reliable graph disconnected; invariant violated"
+                )
+            parent_deg, parent, child = heapq.heappop(frontier)
+            if child in in_tree:
+                continue
+            if parent_deg != degree[parent]:
+                # Stale entry: reinsert with the current degree.
+                heapq.heappush(frontier, (degree[parent], parent, child))
+                continue
+            break
+        in_tree.add(child)
+        degree[parent] += 1
+        degree[child] += 1
+        reliable.append((parent, child))
+        reliable.append((child, parent))
+        push_neighbours(child)
+        if degree[parent] < max_degree:
+            pass  # parent may keep adopting; entries already queued
+    return DualGraph(
+        network.n,
+        reliable,
+        network.all_edges() | set(reliable),
+        source=network.source,
+        name=name or f"{network.name}|deg{max_degree}-backbone",
+    )
+
+
+@dataclass(frozen=True)
+class ContentionProfile:
+    """What a backbone bought, contention-wise.
+
+    Attributes:
+        max_reliable_degree: Largest reliable degree in the backbone.
+        total_reliable_edges: Directed reliable edge count.
+        eccentricity: Source eccentricity over the backbone (path-length
+            price of sparsification).
+        adversarial_inroads: Directed unreliable edges pointing at
+            backbone nodes — the interference surface the adversary
+            keeps regardless of sparsification.
+    """
+
+    max_reliable_degree: int
+    total_reliable_edges: int
+    eccentricity: int
+    adversarial_inroads: int
+
+
+def contention_profile(network: DualGraph) -> ContentionProfile:
+    """Compute the contention profile of a (backbone) dual graph."""
+    max_deg = max(len(network.reliable_out(v)) for v in network.nodes)
+    total = len(network.reliable_edges())
+    inroads = sum(
+        len(network.unreliable_only_out(v)) for v in network.nodes
+    )
+    return ContentionProfile(
+        max_reliable_degree=max_deg,
+        total_reliable_edges=total,
+        eccentricity=network.source_eccentricity,
+        adversarial_inroads=inroads,
+    )

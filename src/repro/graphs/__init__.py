@@ -1,0 +1,69 @@
+"""Dual graph networks and topology generators."""
+
+from repro.graphs.constructions import (
+    CliqueBridgeLayout,
+    LayeredPairsLayout,
+    PivotLayersLayout,
+    clique_bridge,
+    layered_pairs,
+    pivot_layers,
+    pivot_layers_for_n,
+)
+from repro.graphs.broadcastability import (
+    broadcast_number,
+    greedy_broadcast_schedule,
+    guaranteed_informed,
+    is_k_broadcastable,
+)
+from repro.graphs.dualgraph import DualGraph, DualGraphError
+from repro.graphs.extra_generators import (
+    caterpillar,
+    complete_binary_tree,
+    hypercube,
+    noisy_dual,
+    random_regular,
+)
+from repro.graphs.generators import (
+    clique,
+    directed_layered,
+    grid,
+    layered,
+    line,
+    random_tree,
+    ring,
+    star,
+    with_complete_unreliable,
+)
+from repro.graphs.random_graphs import gnp_dual, gray_zone
+
+__all__ = [
+    "CliqueBridgeLayout",
+    "DualGraph",
+    "DualGraphError",
+    "broadcast_number",
+    "caterpillar",
+    "complete_binary_tree",
+    "greedy_broadcast_schedule",
+    "guaranteed_informed",
+    "hypercube",
+    "is_k_broadcastable",
+    "noisy_dual",
+    "random_regular",
+    "LayeredPairsLayout",
+    "PivotLayersLayout",
+    "clique",
+    "clique_bridge",
+    "directed_layered",
+    "gnp_dual",
+    "gray_zone",
+    "grid",
+    "layered",
+    "layered_pairs",
+    "line",
+    "pivot_layers",
+    "pivot_layers_for_n",
+    "random_tree",
+    "ring",
+    "star",
+    "with_complete_unreliable",
+]

@@ -1,0 +1,218 @@
+"""Paper-specific network constructions.
+
+Three networks carry the paper's lower bounds:
+
+* :func:`clique_bridge` — Theorem 2 / Theorem 4: an ``(n-1)``-clique
+  containing the source and a *bridge* node, plus a lone *receiver* hanging
+  off the bridge; ``G'`` is complete.  2-broadcastable, yet deterministic
+  broadcast needs more than ``n - 3`` rounds.
+* :func:`layered_pairs` — Theorem 12: a complete layered graph whose layers
+  (after the source) contain exactly two nodes, with ``G'`` complete.
+  Forces ``Ω(n log n)`` rounds.
+* :func:`pivot_layers` — Theorem 11 (shape-equivalent stand-in for the
+  Clementi–Monti–Silvestri dynamic-fault construction): a directed
+  ``√n``-broadcastable network in which each layer can only be exited
+  reliably through an adversarially chosen hidden pivot, forcing
+  ``Ω(n^{3/2})``-shaped running times.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.graphs.dualgraph import DualGraph, Edge
+
+
+@dataclass(frozen=True)
+class CliqueBridgeLayout:
+    """Node roles in the Theorem-2 network.
+
+    Attributes:
+        graph: The dual graph itself.
+        source: The source node (inside the clique).
+        bridge: The unique clique node adjacent to the receiver.
+        receiver: The node reachable only through the bridge.
+        clique: All clique nodes (including source and bridge).
+    """
+
+    graph: DualGraph
+    source: int
+    bridge: int
+    receiver: int
+    clique: Tuple[int, ...]
+
+
+def clique_bridge(n: int, bridge: int = 1) -> CliqueBridgeLayout:
+    """Build the Theorem-2 network for ``n >= 3`` nodes.
+
+    ``G`` consists of a clique over nodes ``0 .. n-2`` (source = 0) plus the
+    edge ``{bridge, n-1}`` to the receiver node ``n-1``.  ``G'`` is the
+    complete graph.  The network is 2-broadcastable: source sends, then the
+    bridge sends.
+
+    Args:
+        n: Total number of nodes (``n - 1`` in the clique plus the receiver).
+        bridge: Which clique node plays the bridge role (must not be the
+            source; the proof places the adversarially chosen process there).
+    """
+    if n < 3:
+        raise ValueError("clique_bridge needs n >= 3")
+    if not 1 <= bridge <= n - 2:
+        raise ValueError(f"bridge must be a non-source clique node, got {bridge}")
+    receiver = n - 1
+    clique_nodes = tuple(range(n - 1))
+    reliable: List[Edge] = list(itertools.combinations(clique_nodes, 2))
+    reliable.append((bridge, receiver))
+    all_edges = list(itertools.combinations(range(n), 2))
+    graph = DualGraph(
+        n,
+        reliable,
+        all_edges,
+        undirected=True,
+        name=f"clique-bridge(n={n},bridge={bridge})",
+    )
+    return CliqueBridgeLayout(
+        graph=graph,
+        source=0,
+        bridge=bridge,
+        receiver=receiver,
+        clique=clique_nodes,
+    )
+
+
+@dataclass(frozen=True)
+class LayeredPairsLayout:
+    """Node roles in the Theorem-12 network.
+
+    Attributes:
+        graph: The dual graph.
+        layers: ``layers[0] == (0,)`` is the source layer; each subsequent
+            layer is a pair ``(2k-1, 2k)``.
+    """
+
+    graph: DualGraph
+    layers: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers including the source layer."""
+        return len(self.layers)
+
+
+def layered_pairs(n: int) -> LayeredPairsLayout:
+    """Build the Theorem-12 network on ``n`` nodes (``n`` odd, ``n >= 5``).
+
+    Nodes are ``{0, .., n-1}`` with node 0 the source.  Layers are
+    ``L_0 = {0}`` and ``L_k = {2k-1, 2k}`` for ``k = 1 .. (n-1)/2``.  ``G``
+    is the complete layered graph (edges within each layer and between
+    consecutive layers); ``G'`` is the complete graph, so that a
+    transmission from layer ``k`` can be pushed by the adversary to any
+    superset of ``L_{k-1} ∪ L_{k+1}``.
+    """
+    if n < 5 or n % 2 == 0:
+        raise ValueError("layered_pairs needs odd n >= 5")
+    num_pair_layers = (n - 1) // 2
+    layers: List[Tuple[int, ...]] = [(0,)]
+    for k in range(1, num_pair_layers + 1):
+        layers.append((2 * k - 1, 2 * k))
+
+    reliable: List[Edge] = []
+    for layer in layers:
+        reliable.extend(itertools.combinations(layer, 2))
+    for a, b in zip(layers, layers[1:]):
+        reliable.extend(itertools.product(a, b))
+    all_edges = list(itertools.combinations(range(n), 2))
+    graph = DualGraph(
+        n,
+        reliable,
+        all_edges,
+        undirected=True,
+        name=f"layered-pairs(n={n})",
+    )
+    return LayeredPairsLayout(graph=graph, layers=tuple(layers))
+
+
+@dataclass(frozen=True)
+class PivotLayersLayout:
+    """Node roles in the Theorem-11-shaped directed network.
+
+    Attributes:
+        graph: The dual graph.
+        layers: ``layers[0] == (0,)``; subsequent layers have ``width``
+            nodes each.
+        width: Nodes per non-source layer (``≈ √n``).
+    """
+
+    graph: DualGraph
+    layers: Tuple[Tuple[int, ...], ...]
+    width: int
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+
+def pivot_layers(num_layers: int, width: int) -> PivotLayersLayout:
+    """Build the directed hard network used for the Theorem-11 experiment.
+
+    Structure (all edges directed "forward"):
+
+    * Layer 0 is the source; layers ``1 .. num_layers-1`` have ``width``
+      nodes each, so ``n = 1 + (num_layers - 1) * width``.
+    * **Reliable** edges leave each layer only through its *pivot* (the
+      layer's first node): ``pivot_k → every node of layer k+1``.  Every
+      node is still reachable from the source along the pivot chain.
+    * **Unreliable** edges: every node of layer ``k`` → every node of every
+      later layer (the adversary's blanket).
+
+    Consequences: a lone non-pivot sender in the frontier layer informs
+    nobody new (the adversary withholds its unreliable edges); a lone pivot
+    sender reliably informs the whole next layer; when the pivot sends
+    concurrently with anyone else, the companion
+    :class:`~repro.adversaries.interferers.PivotAdversary` blankets the
+    next layer to force collisions.  Since which *identity* sits at each
+    pivot node is also adversarial (the ``proc`` mapping), a deterministic
+    feedback-free algorithm must effectively isolate every identity in a
+    layer before it can be sure of progress.  With
+    ``num_layers ≈ width ≈ √n`` the measured broadcast time grows like
+    ``n^{3/2}`` (up to polylog), matching the shape of the Theorem-11
+    bound.
+    """
+    if num_layers < 2 or width < 1:
+        raise ValueError("need num_layers >= 2 and width >= 1")
+    layers: List[Tuple[int, ...]] = [(0,)]
+    next_node = 1
+    for _ in range(1, num_layers):
+        layers.append(tuple(range(next_node, next_node + width)))
+        next_node += width
+    n = next_node
+
+    reliable: List[Edge] = []
+    for a, b in zip(layers, layers[1:]):
+        pivot = a[0]
+        reliable.extend((pivot, v) for v in b)
+
+    all_edges: List[Edge] = list(reliable)
+    for i, layer in enumerate(layers):
+        for later in layers[i + 1 :]:
+            for u in layer:
+                for v in later:
+                    all_edges.append((u, v))
+
+    graph = DualGraph(
+        n,
+        reliable,
+        all_edges,
+        name=f"pivot-layers(L={num_layers},w={width})",
+    )
+    return PivotLayersLayout(graph=graph, layers=tuple(layers), width=width)
+
+
+def pivot_layers_for_n(n: int) -> PivotLayersLayout:
+    """Build a pivot-layer network with ``≈ √n`` layers of ``≈ √n`` nodes."""
+    width = max(1, int(math.isqrt(n)))
+    num_layers = max(2, (n - 1 + width - 1) // width + 1)
+    return pivot_layers(num_layers, width)

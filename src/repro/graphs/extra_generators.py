@@ -1,0 +1,157 @@
+"""Additional topology families used by the wider experiment suite.
+
+Beyond the basics in :mod:`repro.graphs.generators`, these cover the
+structures commonly exercised in radio broadcast papers: hypercubes
+(dense, logarithmic diameter), complete binary trees (hierarchical),
+caterpillars (worst-ish case for pipelining), random regular graphs
+(expander-flavoured), and "noisy" duals derived from any base graph by
+sampling extra unreliable edges.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Tuple
+
+from repro.graphs.dualgraph import DualGraph, Edge
+
+
+def hypercube(dimension: int) -> DualGraph:
+    """The ``2^d``-node hypercube (classical).
+
+    Diameter ``d``; the canonical dense low-diameter testbed.
+    """
+    if dimension < 1:
+        raise ValueError("need dimension >= 1")
+    n = 1 << dimension
+    reliable: List[Edge] = []
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if v < u:
+                reliable.append((v, u))
+    return DualGraph(
+        n, reliable, undirected=True, name=f"hypercube(d={dimension})"
+    )
+
+
+def complete_binary_tree(depth: int) -> DualGraph:
+    """A complete binary tree of the given depth, rooted at the source."""
+    if depth < 0:
+        raise ValueError("need depth >= 0")
+    n = (1 << (depth + 1)) - 1
+    reliable = [
+        (parent, child)
+        for parent in range(n)
+        for child in (2 * parent + 1, 2 * parent + 2)
+        if child < n
+    ]
+    return DualGraph(
+        n, reliable, undirected=True,
+        name=f"binary-tree(depth={depth})",
+    )
+
+
+def caterpillar(spine: int, legs_per_node: int) -> DualGraph:
+    """A caterpillar: a spine path with pendant leaves on every node.
+
+    High-degree bottlenecks along a path — the classic stress case for
+    pipelined broadcast schedules.
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("need spine >= 1 and legs_per_node >= 0")
+    n = spine * (1 + legs_per_node)
+    reliable: List[Edge] = []
+    for i in range(spine - 1):
+        reliable.append((i, i + 1))
+    leaf = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            reliable.append((i, leaf))
+            leaf += 1
+    return DualGraph(
+        n, reliable, undirected=True,
+        name=f"caterpillar(spine={spine},legs={legs_per_node})",
+    )
+
+
+def random_regular(
+    n: int, degree: int, seed: int = 0, max_attempts: int = 200
+) -> DualGraph:
+    """A random ``degree``-regular graph via the configuration model.
+
+    Resamples until the pairing is simple (no loops or doubled edges) and
+    connected; practical for the moderate sizes the simulator targets.
+
+    Raises:
+        ValueError: When ``n * degree`` is odd or ``degree >= n``.
+        RuntimeError: When no valid pairing is found within
+            ``max_attempts`` (raise the degree or the attempts).
+    """
+    if degree >= n or degree < 1:
+        raise ValueError("need 1 <= degree < n")
+    if (n * degree) % 2:
+        raise ValueError("n * degree must be even")
+    for attempt in range(max_attempts):
+        rng = random.Random(f"regular:{seed}:{attempt}")
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for u, v in zip(stubs[::2], stubs[1::2]):
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if not ok:
+            continue
+        try:
+            return DualGraph(
+                n, edges, undirected=True,
+                name=f"random-regular(n={n},d={degree},seed={seed})",
+            )
+        except Exception:
+            continue  # disconnected sample: retry
+    raise RuntimeError(
+        f"no simple connected {degree}-regular pairing found in "
+        f"{max_attempts} attempts"
+    )
+
+
+def noisy_dual(
+    base: DualGraph,
+    extra_edge_fraction: float = 0.5,
+    seed: int = 0,
+) -> DualGraph:
+    """Derive a dual from any classical graph by sampling noise edges.
+
+    Adds ``extra_edge_fraction × |E|`` unreliable edges drawn uniformly
+    from the non-edges, modelling a deployment whose site survey found
+    ``G`` and whose radios occasionally reach further.
+    """
+    if extra_edge_fraction < 0:
+        raise ValueError("extra_edge_fraction must be non-negative")
+    rng = random.Random(f"noisy:{seed}")
+    n = base.n
+    reliable = base.reliable_edges()
+    undirected_reliable = {(min(u, v), max(u, v)) for u, v in reliable}
+    non_edges = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if (u, v) not in undirected_reliable
+    ]
+    rng.shuffle(non_edges)
+    want = int(len(undirected_reliable) * extra_edge_fraction)
+    extra = non_edges[:want]
+    all_edges = set(reliable)
+    for u, v in extra:
+        all_edges.add((u, v))
+        all_edges.add((v, u))
+    return DualGraph(
+        n,
+        reliable,
+        all_edges,
+        source=base.source,
+        name=f"{base.name}+noise({extra_edge_fraction},seed={seed})",
+    )

@@ -1,0 +1,16 @@
+"""Explicit-interference model and the Lemma-1 dual-graph reduction."""
+
+from repro.interference.model import InterferenceEngine, InterferenceNetwork
+from repro.interference.reduction import (
+    EquivalenceReport,
+    InterferenceSimulationAdversary,
+    run_equivalence_check,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "InterferenceEngine",
+    "InterferenceNetwork",
+    "InterferenceSimulationAdversary",
+    "run_equivalence_check",
+]

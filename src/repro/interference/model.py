@@ -1,0 +1,249 @@
+"""The explicit-interference model ``(G_T, G_I)`` (Section 2.2, Appendix A).
+
+Several prior models (e.g. Galčík et al.) describe a network with a
+*transmission* graph ``G_T`` and an *interference* graph ``G_I ⊇ G_T``:
+interference edges can cause collisions but can never convey a message.
+Per the paper's Appendix A, the collision rules carry over with one
+modification: all messages sent by ``u`` with ``{u, v} ∈ G_I`` *reach*
+``v``, but if ``{u, v} ∈ G_I \\ G_T`` then ``v`` can never *receive*
+``u``'s message — if the only message reaching ``v`` came over an
+interference-only edge, ``v`` hears ``⊥``.
+
+:class:`InterferenceEngine` simulates this model directly.  Lemma 1 shows
+any dual-graph algorithm retains its round bound here; the reduction
+adversary lives in :mod:`repro.interference.reduction` and is validated
+by comparing the two engines observation-for-observation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.graphs.dualgraph import DualGraph
+from repro.sim.collision import CollisionRule
+from repro.sim.messages import (
+    COLLISION,
+    Message,
+    Reception,
+    SILENCE,
+    received,
+)
+from repro.sim.process import Process, ProcessContext
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+
+@dataclass(frozen=True)
+class InterferenceNetwork:
+    """An explicit-interference network ``(G_T, G_I)``.
+
+    Reuses :class:`DualGraph` for storage: the reliable edge set plays
+    ``G_T`` and the full edge set plays ``G_I``; the semantic difference
+    (interference edges cannot convey messages) lives in the engine.
+    """
+
+    graph: DualGraph
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def source(self) -> int:
+        return self.graph.source
+
+    def transmission_out(self, v: int):
+        """``G_T`` out-neighbours."""
+        return self.graph.reliable_out(v)
+
+    def interference_out(self, v: int):
+        """All ``G_I`` out-neighbours (including transmission edges)."""
+        return self.graph.all_out(v)
+
+    def as_dual_graph(self) -> DualGraph:
+        """The Lemma-1 dual graph: ``G = G_T``, ``G' = G_I``."""
+        return self.graph
+
+
+class InterferenceEngine:
+    """Synchronous-round execution in the explicit-interference model.
+
+    Semantics per node ``v`` each round: *arrivals* are the messages of
+    all senders with a ``G_I`` edge to ``v`` (plus ``v``'s own message if
+    it sends); *receivable* arrivals are those over ``G_T`` edges (plus
+    its own).  The collision rule applies to the arrival count, but a
+    lone arrival is received only when receivable — otherwise silence.
+    Under CR4 the resolver may only pick a receivable arrival.
+
+    The model is static, so the only adversarial freedom left is the CR4
+    resolution; ``cr4_choose_first`` picks the lowest-uid receivable
+    message, ``False`` resolves to silence.
+    """
+
+    def __init__(
+        self,
+        network: InterferenceNetwork,
+        processes: Sequence[Process],
+        collision_rule: CollisionRule = CollisionRule.CR4,
+        synchronous_start: bool = False,
+        max_rounds: int = 1_000_000,
+        seed: int = 0,
+        payload: object = "broadcast-message",
+        cr4_choose_first: bool = False,
+    ) -> None:
+        if len(processes) != network.n:
+            raise ValueError("need one process per node")
+        self.network = network
+        self.collision_rule = collision_rule
+        self.synchronous_start = synchronous_start
+        self.max_rounds = max_rounds
+        self.payload = payload
+        self.cr4_choose_first = cr4_choose_first
+        self.process_at: Dict[int, Process] = {
+            v: p for v, p in zip(range(network.n), processes)
+        }
+        self._contexts = {
+            v: ProcessContext(
+                round_number=0,
+                rng=random.Random(f"{seed}:{p.uid}"),
+                n=network.n,
+            )
+            for v, p in self.process_at.items()
+        }
+        self._active: set = set()
+        self._round = 0
+        self.trace = ExecutionTrace(
+            network_name=f"interference({network.graph.name})",
+            n=network.n,
+            proc={v: p.uid for v, p in self.process_at.items()},
+            informed_round={v: None for v in range(network.n)},
+        )
+
+    def _activate(self, node: int) -> None:
+        if node in self._active:
+            return
+        self._active.add(node)
+        self.process_at[node].on_activate(self._contexts[node])
+
+    def _resolve(
+        self,
+        node: int,
+        is_sender: bool,
+        own: Optional[Message],
+        arrivals: List[Message],
+        receivable: List[Message],
+    ) -> Reception:
+        """Resolve one node's observation.
+
+        Semantics (Section 2.2 + Appendix A): a collision requires at
+        least one *transmission-edge* arrival; interference-only arrivals
+        on their own are undetectable noise — the node hears ``⊥``.
+        When at least one transmission arrival exists, interference
+        arrivals count toward the collision threshold but can never be
+        received.
+        """
+        rule = self.collision_rule
+        if is_sender and rule.sender_hears_own_message:
+            assert own is not None
+            return received(own)
+        if not receivable:
+            # No decodable signal: silence, regardless of interference.
+            return SILENCE
+        if is_sender:  # CR1 sender (its own message is receivable)
+            if len(arrivals) >= 2:
+                return COLLISION
+            assert own is not None
+            return received(own)
+        if len(arrivals) == 1:
+            return received(receivable[0])  # the lone arrival is receivable
+        if rule in (CollisionRule.CR1, CollisionRule.CR2):
+            return COLLISION
+        if rule is CollisionRule.CR3:
+            return SILENCE
+        # CR4: silence or one *receivable* message.
+        if self.cr4_choose_first:
+            return received(min(receivable, key=lambda m: m.sender))
+        return SILENCE
+
+    def run(self) -> ExecutionTrace:
+        source = self.network.source
+        sp = self.process_at[source]
+        sp.on_broadcast_input(
+            Message(payload=self.payload, sender=sp.uid, round_sent=0)
+        )
+        self.trace.informed_round[source] = 0
+        if self.synchronous_start:
+            for v in range(self.network.n):
+                self._activate(v)
+        else:
+            self._activate(source)
+
+        while self._round < self.max_rounds:
+            self._round += 1
+            rnd = self._round
+            senders: Dict[int, Message] = {}
+            for v in sorted(self._active):
+                ctx = self._contexts[v]
+                ctx.round_number = rnd
+                msg = self.process_at[v].decide_send(ctx)
+                if msg is not None:
+                    senders[v] = msg
+            for v in range(self.network.n):
+                self._contexts[v].round_number = rnd
+
+            arrivals: Dict[int, List[Message]] = {
+                v: [] for v in range(self.network.n)
+            }
+            receivable: Dict[int, List[Message]] = {
+                v: [] for v in range(self.network.n)
+            }
+            for s, msg in senders.items():
+                arrivals[s].append(msg)
+                receivable[s].append(msg)
+                for t in self.network.interference_out(s):
+                    arrivals[t].append(msg)
+                for t in self.network.transmission_out(s):
+                    receivable[t].append(msg)
+
+            newly_informed: List[int] = []
+            newly_active: List[int] = []
+            receptions: Dict[int, Reception] = {}
+            for v in range(self.network.n):
+                rec = self._resolve(
+                    v, v in senders, senders.get(v), arrivals[v], receivable[v]
+                )
+                receptions[v] = rec
+                proc = self.process_at[v]
+                if v not in self._active:
+                    if rec.is_message:
+                        newly_active.append(v)
+                        self._activate(v)
+                    else:
+                        continue
+                if rec.is_message and rec.message.payload == self.payload:
+                    if self.trace.informed_round[v] is None:
+                        self.trace.informed_round[v] = rnd
+                        newly_informed.append(v)
+                    proc.deliver(self._contexts[v], rec)
+                elif rec.is_message:
+                    proc.on_reception(self._contexts[v], rec)
+                else:
+                    proc.deliver(self._contexts[v], rec)
+
+            self.trace.rounds.append(
+                RoundRecord(
+                    round_number=rnd,
+                    senders=dict(senders),
+                    unreliable_deliveries={},
+                    newly_informed=tuple(newly_informed),
+                    newly_active=tuple(newly_active),
+                    receptions=dict(receptions),
+                )
+            )
+            if all(
+                r is not None for r in self.trace.informed_round.values()
+            ):
+                self.trace.completed = True
+                break
+        return self.trace

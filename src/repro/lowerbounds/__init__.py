@@ -1,0 +1,40 @@
+"""Executable versions of the paper's lower-bound constructions."""
+
+from repro.lowerbounds.sandbox import SandboxProcess
+from repro.lowerbounds.theorem2 import (
+    Theorem2Adversary,
+    Theorem2Result,
+    run_alpha_i,
+    theorem2_lower_bound,
+)
+from repro.lowerbounds.theorem4 import Theorem4Result, theorem4_experiment
+from repro.lowerbounds.theorem11 import (
+    Theorem11Result,
+    theorem11_lower_bound,
+    verify_with_engine,
+    worst_case_proc_mapping,
+)
+from repro.lowerbounds.theorem12 import (
+    ConstructionError,
+    StageRecord,
+    Theorem12Result,
+    theorem12_construction,
+)
+
+__all__ = [
+    "ConstructionError",
+    "SandboxProcess",
+    "StageRecord",
+    "Theorem2Adversary",
+    "Theorem2Result",
+    "Theorem4Result",
+    "Theorem11Result",
+    "Theorem12Result",
+    "run_alpha_i",
+    "theorem2_lower_bound",
+    "theorem4_experiment",
+    "theorem11_lower_bound",
+    "theorem12_construction",
+    "verify_with_engine",
+    "worst_case_proc_mapping",
+]

@@ -1,0 +1,117 @@
+"""Manually driven process copies for lower-bound constructions.
+
+The adversary arguments in Sections 4 and 6 reason about *families* of
+executions that share prefixes and differ only in the ``proc`` mapping.
+Simulating them efficiently requires driving process automata by hand —
+querying "would you send in round r?" and feeding each copy the exact
+observation the construction dictates — and cloning automata at branch
+points.
+
+This requires the processes to be **deterministic** automata whose
+``decide_send`` is a pure function of their state (true for Strong
+Select, round robin, and any deterministic algorithm playing by the
+model's rules).  The constructions are not defined for randomized
+algorithms (Theorem 4 handles those by fixing choice sequences, i.e.
+seeds).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Optional
+
+from repro.sim.messages import (
+    COLLISION,
+    Message,
+    Reception,
+    SILENCE,
+    received,
+)
+from repro.sim.process import Process, ProcessContext
+
+
+class SandboxProcess:
+    """A process copy driven round-by-round by a construction.
+
+    Args:
+        process: The automaton to drive (the sandbox takes ownership).
+        n: System size passed through the context.
+        payload: The broadcast payload; message custody is tracked exactly
+            as the real engine does (a received message informs the copy
+            only when it carries the payload).
+        seed: Seed for the context PRNG (only consulted by probabilistic
+            automata, which the constructions do not support; present for
+            interface completeness).
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        n: int,
+        payload: object,
+        seed: int = 0,
+    ) -> None:
+        self.process = process
+        self.payload = payload
+        self.ctx = ProcessContext(
+            round_number=0,
+            rng=random.Random(f"sandbox:{seed}:{process.uid}"),
+            n=n,
+        )
+
+    @property
+    def uid(self) -> int:
+        return self.process.uid
+
+    @property
+    def informed(self) -> bool:
+        """Whether the copy holds the broadcast payload."""
+        return self.process.has_message
+
+    def clone(self) -> "SandboxProcess":
+        """An independent copy sharing no mutable state."""
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def activate(self, round_number: int = 0) -> None:
+        """Wake the process (synchronous start: round 0)."""
+        self.ctx.round_number = round_number
+        self.process.on_activate(self.ctx)
+
+    def give_broadcast_input(self) -> None:
+        """Deliver the payload from the environment (source only)."""
+        self.process.on_broadcast_input(
+            Message(payload=self.payload, sender=self.uid, round_sent=0)
+        )
+
+    def would_send(self, round_number: int) -> Optional[Message]:
+        """Query the automaton's transmission decision for a round.
+
+        Pure for deterministic automata, so constructions may re-query
+        the same round when exploring branch points.
+        """
+        self.ctx.round_number = round_number
+        return self.process.decide_send(self.ctx)
+
+    def feed(self, round_number: int, reception: Reception) -> None:
+        """Deliver one observation for the given round."""
+        self.ctx.round_number = round_number
+        msg = reception.message
+        if reception.is_message and msg is not None and msg.payload != self.payload:
+            # A payload-free message: deliver without custody transfer,
+            # mirroring BroadcastEngine._deliver.
+            self.process.on_reception(self.ctx, reception)
+            return
+        self.process.deliver(self.ctx, reception)
+
+    def feed_silence(self, round_number: int) -> None:
+        self.feed(round_number, SILENCE)
+
+    def feed_collision(self, round_number: int) -> None:
+        self.feed(round_number, COLLISION)
+
+    def feed_message(self, round_number: int, message: Message) -> None:
+        self.feed(round_number, received(message))

@@ -1,0 +1,57 @@
+"""Synchronous-round radio network simulation substrate."""
+
+from repro.sim.collision import CollisionRule, resolve_reception
+from repro.sim.engine import (
+    BroadcastEngine,
+    EngineConfig,
+    StartMode,
+    run_broadcast,
+)
+from repro.sim.messages import (
+    COLLISION,
+    Message,
+    Reception,
+    ReceptionKind,
+    SILENCE,
+    received,
+)
+from repro.sim.process import (
+    Process,
+    ProcessContext,
+    ScriptedProcess,
+    SilentProcess,
+)
+from repro.sim.recording import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.sim.trace import ExecutionTrace, RoundRecord
+from repro.sim.validation import validate_execution
+
+__all__ = [
+    "BroadcastEngine",
+    "COLLISION",
+    "CollisionRule",
+    "EngineConfig",
+    "ExecutionTrace",
+    "Message",
+    "Process",
+    "ProcessContext",
+    "Reception",
+    "ReceptionKind",
+    "RoundRecord",
+    "SILENCE",
+    "ScriptedProcess",
+    "SilentProcess",
+    "StartMode",
+    "load_trace",
+    "received",
+    "resolve_reception",
+    "run_broadcast",
+    "save_trace",
+    "trace_from_json",
+    "trace_to_json",
+    "validate_execution",
+]

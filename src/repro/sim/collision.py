@@ -1,0 +1,125 @@
+"""Collision rules CR1–CR4 from Section 2.1 of the paper.
+
+For a process ``p`` in a given round, let *arrivals* be the multiset of
+messages that reach ``p``'s node (a sender's message always reaches the
+sender's own node: "its message reaches ... and v itself").  The four rules
+resolve arrivals into a single :class:`~repro.sim.messages.Reception`:
+
+* **CR1** — full collision detection: two or more arrivals (including the
+  process's own message if it sent) yield collision notification ``⊤``.
+* **CR2** — a sender cannot sense the medium while sending, so it always
+  receives its own message; a non-sender with two or more arrivals
+  receives ``⊤``.
+* **CR3** — senders receive their own message; a non-sender with two or
+  more arrivals hears silence ``⊥`` (no collision detection).
+* **CR4** — senders receive their own message; for a non-sender with two or
+  more arrivals the *adversary* chooses between ``⊥`` and any one of the
+  arriving messages.  This is the weakest rule (most adversarial) and is
+  the one the paper's algorithms are analysed under.
+
+The rules are ordered CR1 (strongest for algorithms) to CR4 (weakest); the
+paper's lower bounds use CR1 and its upper bounds use CR4, strengthening
+both directions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.sim.messages import (
+    COLLISION,
+    Message,
+    Reception,
+    SILENCE,
+    received,
+)
+
+#: Signature of the adversary callback used by CR4 to resolve a collision at
+#: a non-sending node: given the node and the list of arriving messages, the
+#: adversary returns either ``None`` (the node hears silence) or one of the
+#: messages (the node receives it).
+CR4Resolver = Callable[[int, List[Message]], Optional[Message]]
+
+
+class CollisionRule(enum.Enum):
+    """The four collision rules, strongest (CR1) to weakest (CR4)."""
+
+    CR1 = 1
+    CR2 = 2
+    CR3 = 3
+    CR4 = 4
+
+    @property
+    def provides_collision_detection(self) -> bool:
+        """Whether the rule can ever deliver collision notification."""
+        return self in (CollisionRule.CR1, CollisionRule.CR2)
+
+    @property
+    def sender_hears_own_message(self) -> bool:
+        """Whether a sender unconditionally receives its own message."""
+        return self is not CollisionRule.CR1
+
+
+def resolve_reception(
+    rule: CollisionRule,
+    node: int,
+    is_sender: bool,
+    own_message: Optional[Message],
+    arrivals: List[Message],
+    cr4_resolver: Optional[CR4Resolver] = None,
+) -> Reception:
+    """Resolve the arrivals at one node into a reception.
+
+    Args:
+        rule: The collision rule in force.
+        node: The node at which arrivals are being resolved (passed through
+            to the CR4 resolver so adaptive adversaries can discriminate).
+        is_sender: Whether the process at this node transmitted this round.
+        own_message: The message transmitted by this node, if any.
+        arrivals: All messages reaching the node this round.  For a sender
+            this list includes ``own_message``.
+        cr4_resolver: Adversary callback, required when ``rule`` is CR4 and
+            a non-sender has two or more arrivals; when omitted, the engine
+            default (silence) is used, matching the weakest deterministic
+            stand-in adversary.
+
+    Returns:
+        The process's observation for the round.
+    """
+    if is_sender and own_message is None:
+        raise ValueError("sender must provide its own message")
+    if is_sender and rule.sender_hears_own_message:
+        # CR2/CR3/CR4: a transmitting process cannot sense the medium and
+        # always receives its own message.
+        return received(own_message)
+
+    if is_sender:
+        # CR1 sender: full collision detection including its own signal.
+        if len(arrivals) >= 2:
+            return COLLISION
+        return received(own_message)
+
+    # Non-sender cases.
+    if not arrivals:
+        return SILENCE
+    if len(arrivals) == 1:
+        return received(arrivals[0])
+
+    # Two or more arrivals at a non-sender.
+    if rule in (CollisionRule.CR1, CollisionRule.CR2):
+        return COLLISION
+    if rule is CollisionRule.CR3:
+        return SILENCE
+
+    # CR4: adversary chooses silence or one of the messages.
+    if cr4_resolver is None:
+        return SILENCE
+    choice = cr4_resolver(node, list(arrivals))
+    if choice is None:
+        return SILENCE
+    if choice not in arrivals:
+        raise ValueError(
+            "CR4 resolver must return None or one of the arriving messages"
+        )
+    return received(choice)

@@ -1,0 +1,364 @@
+"""The synchronous-round execution engine (Section 2.1 semantics).
+
+An execution of an algorithm on a network ``(G, G')`` proceeds in
+synchronous rounds ``1, 2, …``.  Each round:
+
+1. Every *active* process decides whether to transmit.
+2. A transmission from node ``v`` reaches all of ``v``'s ``G``
+   out-neighbours, an adversary-chosen subset of its ``G'``-only
+   out-neighbours, and ``v`` itself.
+3. Arrivals at each node are resolved into a single observation by the
+   collision rule in force (CR1–CR4; CR4 consults the adversary).
+4. Observations are delivered and processes update state.
+
+Start rules: under *synchronous start* every process is active from round
+1; under *asynchronous start* a process activates on its first actual
+message reception (receiving ``⊥``/``⊤`` does not wake a sleeping
+process, matching "activates each process the first time it receives a
+message").
+
+The broadcast payload is delivered to the source process before round 1.
+By convention the payload must not be ``None``; a process that transmits
+without holding the payload sends a ``None``-payload message (such
+transmissions convey information and cause collisions but do not inform —
+this is exactly the behaviour the Theorem 12 construction exploits).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.adversaries.base import Adversary, AdversaryView, NoDeliveryAdversary
+from repro.graphs.dualgraph import DualGraph
+from repro.sim.collision import CollisionRule, resolve_reception
+from repro.sim.messages import Message, Reception
+from repro.sim.process import Process, ProcessContext
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+
+class StartMode(enum.Enum):
+    """When processes begin executing (Section 2.1)."""
+
+    #: Every process begins in round 1.
+    SYNCHRONOUS = "synchronous"
+    #: A process is activated by its first message reception.
+    ASYNCHRONOUS = "asynchronous"
+
+
+@dataclass
+class EngineConfig:
+    """Execution parameters.
+
+    Attributes:
+        collision_rule: CR1–CR4 (default CR4, the weakest — the paper's
+            upper bounds assume it).
+        start_mode: Synchronous or asynchronous start (default
+            asynchronous, again the weakest).
+        max_rounds: Safety bound on execution length; the engine stops and
+            marks the trace incomplete if broadcast has not finished.
+        seed: Master seed; each process gets an independent deterministic
+            PRNG derived from it.
+        stop_when_informed: Stop as soon as every process holds the
+            payload (the broadcast problem's success condition).
+        record_receptions: Keep per-node observations in the trace
+            (memory-heavy; intended for tests and small runs).
+    """
+
+    collision_rule: CollisionRule = CollisionRule.CR4
+    start_mode: StartMode = StartMode.ASYNCHRONOUS
+    max_rounds: int = 1_000_000
+    seed: int = 0
+    stop_when_informed: bool = True
+    record_receptions: bool = False
+
+
+class BroadcastEngine:
+    """Runs one algorithm on one network under one adversary.
+
+    Args:
+        network: The dual graph.
+        processes: Exactly ``network.n`` process automata with distinct
+            uids.  The adversary chooses which node each occupies.
+        adversary: The adversary (default: never delivers on unreliable
+            links).
+        config: Execution parameters.
+        payload: The broadcast content handed to the source before round 1
+            (must not be ``None``).
+    """
+
+    def __init__(
+        self,
+        network: DualGraph,
+        processes: Sequence[Process],
+        adversary: Optional[Adversary] = None,
+        config: Optional[EngineConfig] = None,
+        payload: object = "broadcast-message",
+    ) -> None:
+        if payload is None:
+            raise ValueError("broadcast payload must not be None")
+        uids = [p.uid for p in processes]
+        if len(set(uids)) != len(uids):
+            raise ValueError("process uids must be distinct")
+        if len(processes) != network.n:
+            raise ValueError(
+                f"need exactly {network.n} processes, got {len(processes)}"
+            )
+        self.network = network
+        self.adversary = adversary if adversary is not None else NoDeliveryAdversary()
+        self.config = config if config is not None else EngineConfig()
+        self.payload = payload
+
+        by_uid = {p.uid: p for p in processes}
+        proc_map = self.adversary.assign_processes(network, uids)
+        if sorted(proc_map) != list(network.nodes) or sorted(
+            proc_map.values()
+        ) != sorted(uids):
+            raise ValueError("adversary returned an invalid proc mapping")
+        #: node → process
+        self.process_at: Dict[int, Process] = {
+            node: by_uid[uid] for node, uid in proc_map.items()
+        }
+        #: node → process uid
+        self.proc_map = dict(proc_map)
+
+        self._contexts: Dict[int, ProcessContext] = {
+            node: ProcessContext(
+                round_number=0,
+                rng=random.Random(f"{self.config.seed}:{p.uid}"),
+                n=network.n,
+            )
+            for node, p in self.process_at.items()
+        }
+        self._active: set = set()
+        self._round = 0
+        self._started = False
+        self.trace = ExecutionTrace(
+            network_name=network.name,
+            n=network.n,
+            proc=dict(proc_map),
+            informed_round={v: None for v in network.nodes},
+        )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _activate(self, node: int) -> None:
+        if node in self._active:
+            return
+        self._active.add(node)
+        self.process_at[node].on_activate(self._contexts[node])
+
+    def _setup(self) -> None:
+        source = self.network.source
+        source_proc = self.process_at[source]
+        source_proc.on_broadcast_input(
+            Message(payload=self.payload, sender=source_proc.uid, round_sent=0)
+        )
+        self.trace.informed_round[source] = 0
+        if self.config.start_mode is StartMode.SYNCHRONOUS:
+            for node in self.network.nodes:
+                self._activate(node)
+        else:
+            # The environment input activates the source.
+            self._activate(source)
+        self.adversary.on_execution_start(self.network, self.proc_map)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def _informed_nodes(self) -> FrozenSet[int]:
+        return frozenset(
+            v
+            for v, r in self.trace.informed_round.items()
+            if r is not None
+        )
+
+    def _step(self) -> RoundRecord:
+        self._round += 1
+        rnd = self._round
+        network = self.network
+
+        # Phase 1: decisions.
+        senders: Dict[int, Message] = {}
+        for node in sorted(self._active):
+            ctx = self._contexts[node]
+            ctx.round_number = rnd
+            msg = self.process_at[node].decide_send(ctx)
+            if msg is not None:
+                senders[node] = msg
+        for node in network.nodes:
+            # Keep contexts of sleeping processes in sync for activation.
+            self._contexts[node].round_number = rnd
+
+        # Phase 2: adversary chooses unreliable deliveries.
+        view = AdversaryView(
+            round_number=rnd,
+            network=network,
+            senders=dict(senders),
+            informed=self._informed_nodes(),
+            active=frozenset(self._active),
+            proc=self.proc_map,
+        )
+        raw = self.adversary.choose_deliveries(view)
+        deliveries: Dict[int, FrozenSet[int]] = {}
+        for sender, targets in raw.items():
+            if sender not in senders:
+                raise ValueError(
+                    f"adversary delivered for non-sender node {sender}"
+                )
+            targets = frozenset(targets)
+            illegal = targets - network.unreliable_only_out(sender)
+            if illegal:
+                raise ValueError(
+                    f"adversary chose illegal targets {sorted(illegal)} "
+                    f"for sender {sender}"
+                )
+            deliveries[sender] = targets
+
+        # Phase 3: arrivals.
+        arrivals: Dict[int, List[Message]] = {v: [] for v in network.nodes}
+        for sender, msg in senders.items():
+            arrivals[sender].append(msg)  # a sender's message reaches itself
+            for target in network.reliable_out(sender):
+                arrivals[target].append(msg)
+            for target in deliveries.get(sender, frozenset()):
+                arrivals[target].append(msg)
+
+        # Phase 4: resolution and delivery.
+        def cr4(node: int, msgs: List[Message]) -> Optional[Message]:
+            return self.adversary.resolve_cr4(view, node, msgs)
+
+        newly_informed: List[int] = []
+        newly_active: List[int] = []
+        receptions: Dict[int, Reception] = {}
+        for node in network.nodes:
+            is_sender = node in senders
+            reception = resolve_reception(
+                self.config.collision_rule,
+                node,
+                is_sender,
+                senders.get(node),
+                arrivals[node],
+                cr4_resolver=cr4,
+            )
+            receptions[node] = reception
+            process = self.process_at[node]
+            if node not in self._active:
+                if reception.is_message:
+                    newly_active.append(node)
+                    self._activate(node)
+                else:
+                    continue  # sleeping processes observe nothing
+            was_informed = self.trace.informed_round[node] is not None
+            self._deliver(node, process, reception)
+            if not was_informed and self.trace.informed_round[node] is None:
+                if process.has_message and self._carries_payload(reception):
+                    self.trace.informed_round[node] = rnd
+                    newly_informed.append(node)
+
+        record = RoundRecord(
+            round_number=rnd,
+            senders=dict(senders),
+            unreliable_deliveries=dict(deliveries),
+            newly_informed=tuple(newly_informed),
+            newly_active=tuple(newly_active),
+            receptions=dict(receptions)
+            if self.config.record_receptions
+            else None,
+        )
+        self.trace.rounds.append(record)
+        return record
+
+    def _carries_payload(self, reception: Reception) -> bool:
+        return (
+            reception.is_message
+            and reception.message is not None
+            and reception.message.payload == self.payload
+        )
+
+    def _deliver(
+        self, node: int, process: Process, reception: Reception
+    ) -> None:
+        # Custody of the broadcast payload is tracked by the trace, not by
+        # Process.has_message alone, because processes may exchange
+        # payload-free messages (their Process.deliver still runs).
+        if reception.is_message and reception.message.payload != self.payload:
+            # Deliver without transferring payload custody.
+            process.on_reception(self._contexts[node], reception)
+            return
+        process.deliver(self._contexts[node], reception)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def round_number(self) -> int:
+        """The number of rounds executed so far."""
+        return self._round
+
+    def step(self) -> RoundRecord:
+        """Execute one round (setting up on the first call).
+
+        Public stepping exists for protocols layered on broadcast (e.g.
+        the gossip extension) that need their own termination logic.
+        """
+        if not self._started:
+            self._setup()
+            self._started = True
+        return self._step()
+
+    def run_until(self, predicate, max_rounds: Optional[int] = None
+                  ) -> ExecutionTrace:
+        """Execute rounds until ``predicate(engine)`` holds or a cap hits.
+
+        Args:
+            predicate: Called after every round with the engine; truthy
+                return stops the run.
+            max_rounds: Optional cap (default: the config's).
+        """
+        cap = max_rounds if max_rounds is not None else self.config.max_rounds
+        while self._round < cap:
+            self.step()
+            if predicate(self):
+                break
+        self.trace.completed = self._all_informed()
+        return self.trace
+
+    def run(self) -> ExecutionTrace:
+        """Execute until broadcast completes or ``max_rounds`` elapse."""
+        if not self._started:
+            self._setup()
+            self._started = True
+        while self._round < self.config.max_rounds:
+            self._step()
+            if self.config.stop_when_informed and self._all_informed():
+                self.trace.completed = True
+                break
+        else:
+            self.trace.completed = self._all_informed()
+        if self._all_informed():
+            self.trace.completed = True
+        return self.trace
+
+    def _all_informed(self) -> bool:
+        return all(
+            r is not None for r in self.trace.informed_round.values()
+        )
+
+
+def run_broadcast(
+    network: DualGraph,
+    processes: Sequence[Process],
+    adversary: Optional[Adversary] = None,
+    **config_kwargs,
+) -> ExecutionTrace:
+    """One-call convenience wrapper: build an engine and run it.
+
+    Keyword arguments are forwarded to :class:`EngineConfig`.
+    """
+    config = EngineConfig(**config_kwargs)
+    engine = BroadcastEngine(network, processes, adversary, config)
+    return engine.run()

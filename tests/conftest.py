@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.graphs import clique_bridge, gnp_dual, layered_pairs, line
+
+
+@pytest.fixture
+def small_line():
+    """A 6-node undirected path (classical, G = G')."""
+    return line(6)
+
+
+@pytest.fixture
+def small_dual():
+    """A 24-node random dual graph, fixed seed."""
+    return gnp_dual(24, p_reliable=0.12, p_unreliable=0.25, seed=11)
+
+
+@pytest.fixture
+def bridge_layout():
+    """The Theorem-2 clique-bridge network, n=10."""
+    return clique_bridge(10)
+
+
+@pytest.fixture
+def pairs_layout():
+    """The Theorem-12 layered-pairs network, n=9."""
+    return layered_pairs(9)

@@ -1,0 +1,230 @@
+"""Unit tests for the adversary implementations."""
+
+import pytest
+
+from repro.adversaries import (
+    FlappingLinkAdversary,
+    FullDeliveryAdversary,
+    GreedyInterferer,
+    NoDeliveryAdversary,
+    PivotAdversary,
+    RandomDeliveryAdversary,
+)
+from repro.adversaries.base import AdversaryView
+from repro.graphs import line, pivot_layers, with_complete_unreliable
+from repro.sim import (
+    CollisionRule,
+    Message,
+    ScriptedProcess,
+    StartMode,
+    run_broadcast,
+)
+
+
+def view_for(network, senders, informed=frozenset([0]), rnd=1):
+    return AdversaryView(
+        round_number=rnd,
+        network=network,
+        senders=senders,
+        informed=frozenset(informed),
+        active=frozenset(network.nodes),
+        proc={v: v for v in network.nodes},
+    )
+
+
+def msg(sender):
+    return Message("p", sender, 1)
+
+
+class TestSimpleAdversaries:
+    def test_no_delivery_empty(self):
+        g = with_complete_unreliable(line(4))
+        adv = NoDeliveryAdversary()
+        assert adv.choose_deliveries(view_for(g, {0: msg(0)})) == {}
+
+    def test_full_delivery_covers_all_unreliable(self):
+        g = with_complete_unreliable(line(4))
+        adv = FullDeliveryAdversary()
+        out = adv.choose_deliveries(view_for(g, {0: msg(0)}))
+        assert out[0] == g.unreliable_only_out(0)
+
+    def test_random_delivery_p0_never(self):
+        g = with_complete_unreliable(line(4))
+        adv = RandomDeliveryAdversary(p=0.0)
+        assert adv.choose_deliveries(view_for(g, {0: msg(0)})) == {}
+
+    def test_random_delivery_p1_always(self):
+        g = with_complete_unreliable(line(4))
+        adv = RandomDeliveryAdversary(p=1.0)
+        out = adv.choose_deliveries(view_for(g, {0: msg(0)}))
+        assert out[0] == g.unreliable_only_out(0)
+
+    def test_random_delivery_deterministic_given_seed(self):
+        g = with_complete_unreliable(line(10))
+        outs = []
+        for _ in range(2):
+            adv = RandomDeliveryAdversary(p=0.5, seed=3)
+            outs.append(
+                adv.choose_deliveries(view_for(g, {0: msg(0)}))
+            )
+        assert outs[0] == outs[1]
+
+    def test_random_delivery_validation(self):
+        with pytest.raises(ValueError):
+            RandomDeliveryAdversary(p=1.5)
+        with pytest.raises(ValueError):
+            RandomDeliveryAdversary(p=0.5, cr4_mode="bogus")
+
+    def test_cr4_modes(self):
+        adv_silence = RandomDeliveryAdversary(0.5, cr4_mode="silence")
+        adv_first = RandomDeliveryAdversary(0.5, cr4_mode="first")
+        g = with_complete_unreliable(line(4))
+        v = view_for(g, {})
+        arrivals = [msg(3), msg(1)]
+        assert adv_silence.resolve_cr4(v, 2, arrivals) is None
+        assert adv_first.resolve_cr4(v, 2, arrivals).sender == 1
+
+    def test_flapping_phases(self):
+        g = with_complete_unreliable(line(4))
+        adv = FlappingLinkAdversary(up_rounds=2, down_rounds=3)
+        up = adv.choose_deliveries(view_for(g, {0: msg(0)}, rnd=1))
+        assert up  # rounds 1-2 are up
+        down = adv.choose_deliveries(view_for(g, {0: msg(0)}, rnd=3))
+        assert down == {}  # rounds 3-5 are down
+        up_again = adv.choose_deliveries(view_for(g, {0: msg(0)}, rnd=6))
+        assert up_again
+
+    def test_flapping_validation(self):
+        with pytest.raises(ValueError):
+            FlappingLinkAdversary(0, 0)
+
+
+class TestFixedAssignmentAdversary:
+    def test_installs_mapping(self):
+        from repro.adversaries import FixedAssignmentAdversary
+        from repro.sim import BroadcastEngine, EngineConfig
+
+        g = line(4)
+        mapping = {0: 3, 1: 2, 2: 1, 3: 0}
+        procs = [ScriptedProcess(i, range(1, 50)) for i in range(4)]
+        engine = BroadcastEngine(
+            g, procs, FixedAssignmentAdversary(mapping),
+            EngineConfig(max_rounds=10),
+        )
+        trace = engine.run()
+        assert trace.proc == mapping
+        assert trace.completed
+
+    def test_rejects_non_bijection(self):
+        from repro.adversaries import FixedAssignmentAdversary
+        from repro.sim import BroadcastEngine, EngineConfig
+
+        g = line(3)
+        procs = [ScriptedProcess(i, [1]) for i in range(3)]
+        with pytest.raises(ValueError):
+            BroadcastEngine(
+                g, procs,
+                FixedAssignmentAdversary({0: 0, 1: 0, 2: 1}),
+                EngineConfig(max_rounds=5),
+            )
+
+    def test_delegates_to_inner_adversary(self):
+        from repro.adversaries import (
+            FixedAssignmentAdversary,
+            FullDeliveryAdversary,
+        )
+
+        g = with_complete_unreliable(line(4))
+        mapping = {v: v for v in g.nodes}
+        adv = FixedAssignmentAdversary(mapping, FullDeliveryAdversary())
+        out = adv.choose_deliveries(view_for(g, {0: msg(0)}))
+        assert out[0] == g.unreliable_only_out(0)
+
+    def test_no_inner_means_no_deliveries(self):
+        from repro.adversaries import FixedAssignmentAdversary
+
+        g = with_complete_unreliable(line(4))
+        adv = FixedAssignmentAdversary({v: v for v in g.nodes})
+        assert adv.choose_deliveries(view_for(g, {0: msg(0)})) == {}
+        assert adv.resolve_cr4(view_for(g, {}), 1, [msg(0), msg(2)]) is None
+
+
+class TestGreedyInterferer:
+    def test_collides_single_reliable_arrival(self):
+        # Line with complete G': node 2 would receive node 1's lone
+        # message; sender 0 holds an unreliable edge to 2 and must be
+        # told to use it.
+        g = with_complete_unreliable(line(4))
+        adv = GreedyInterferer()
+        out = adv.choose_deliveries(
+            view_for(g, {0: msg(0), 1: msg(1)}, informed={0, 1})
+        )
+        assert 2 in out.get(0, frozenset())
+
+    def test_ignores_informed_nodes(self):
+        g = with_complete_unreliable(line(4))
+        adv = GreedyInterferer()
+        out = adv.choose_deliveries(
+            view_for(g, {0: msg(0), 1: msg(1)}, informed={0, 1, 2, 3})
+        )
+        assert out == {}
+
+    def test_powerless_against_lone_sender(self):
+        g = with_complete_unreliable(line(4))
+        adv = GreedyInterferer()
+        out = adv.choose_deliveries(view_for(g, {1: msg(1)}, informed={0, 1}))
+        assert out == {}  # no second sender to interfere with
+
+    def test_slows_broadcast_on_line(self):
+        g = with_complete_unreliable(line(6))
+        base = run_broadcast(
+            g,
+            [ScriptedProcess(i, range(1, 100)) for i in range(6)],
+            adversary=NoDeliveryAdversary(),
+            max_rounds=50,
+        )
+        attacked = run_broadcast(
+            g,
+            [ScriptedProcess(i, range(1, 100)) for i in range(6)],
+            adversary=GreedyInterferer(),
+            max_rounds=50,
+        )
+        assert not attacked.completed or (
+            attacked.completion_round >= base.completion_round
+        )
+
+
+class TestPivotAdversary:
+    def test_withholds_for_lone_nonpivot(self):
+        layout = pivot_layers(3, 3)
+        adv = PivotAdversary(layout)
+        non_pivot = layout.layers[1][1]
+        out = adv.choose_deliveries(
+            view_for(layout.graph, {non_pivot: msg(non_pivot)},
+                     informed=set(layout.layers[0]) | set(layout.layers[1]))
+        )
+        assert out == {}
+
+    def test_blankets_when_pivot_contends(self):
+        layout = pivot_layers(3, 3)
+        adv = PivotAdversary(layout)
+        pivot = layout.layers[1][0]
+        other = layout.layers[1][1]
+        out = adv.choose_deliveries(
+            view_for(
+                layout.graph,
+                {pivot: msg(pivot), other: msg(other)},
+                informed=set(layout.layers[0]) | set(layout.layers[1]),
+            )
+        )
+        assert set(layout.layers[2]) <= set(out[other])
+
+    def test_lone_pivot_progress_not_blocked(self):
+        layout = pivot_layers(3, 3)
+        adv = PivotAdversary(layout)
+        pivot = layout.layers[1][0]
+        out = adv.choose_deliveries(
+            view_for(layout.graph, {pivot: msg(pivot)},
+                     informed=set(layout.layers[0]) | set(layout.layers[1]))
+        )
+        assert out == {}  # reliable edges handle the delivery

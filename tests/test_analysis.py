@@ -1,0 +1,165 @@
+"""Tests for statistics, complexity fitting, density accounting, tables."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    best_fit,
+    busy_round_count,
+    busy_rounds,
+    fit_power_law,
+    free_round_prefix_equal_point,
+    front_loaded_pattern,
+    growth_ratio_check,
+    is_busy,
+    probability_mass,
+    quantile,
+    render_kv,
+    render_table,
+    seed_sweep,
+    summarize,
+    wakeup_pattern_of,
+)
+from repro.core.harmonic import busy_round_bound, harmonic_number
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == 3
+        assert s.median == 3
+        assert s.minimum == 1 and s.maximum == 5
+
+    def test_summarize_singleton(self):
+        s = summarize([7.0])
+        assert s.stdev == 0.0
+        assert s.ci95_half_width == 0.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_seed_sweep(self):
+        s = seed_sweep(lambda seed: float(seed * 2), seeds=range(5))
+        assert s.mean == 4.0
+
+    def test_quantile(self):
+        data = [1, 2, 3, 4]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 4
+        assert quantile(data, 0.5) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile(data, 1.5)
+
+    def test_format(self):
+        assert "±" in summarize([1, 2, 3]).format()
+
+
+class TestFitting:
+    def test_recovers_pure_power_law(self):
+        ns = [16, 32, 64, 128, 256]
+        ts = [n**1.5 for n in ns]
+        fit = fit_power_law(ns, ts)
+        assert fit.exponent == pytest.approx(1.5, abs=0.01)
+        assert fit.r_squared > 0.999
+
+    def test_recovers_log_factor(self):
+        ns = [16, 32, 64, 128, 256, 512]
+        ts = [3 * n * math.log2(n) ** 2 for n in ns]
+        fit = best_fit(ns, ts)
+        assert fit.exponent == pytest.approx(1.0, abs=0.1)
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100], [10, 100])
+        assert fit.predict(1000) == pytest.approx(1000, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [10])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 3], [1])
+
+    def test_growth_ratio_check(self):
+        ns = [16, 32, 64, 128]
+        ok, a = growth_ratio_check(ns, [n**1.5 for n in ns], 1.5)
+        assert ok
+        bad, _ = growth_ratio_check(ns, [n**2.5 for n in ns], 1.0)
+        assert not bad
+
+    def test_format_contains_exponent(self):
+        fit = fit_power_law([10, 100], [10, 100])
+        assert "n^" in fit.format()
+
+
+class TestBusyRounds:
+    def test_probability_mass_front_loaded(self):
+        # All nodes awake at 0, T=2, n=4: P(1) = 4, busy.
+        pattern = front_loaded_pattern(4, 2)
+        assert probability_mass(pattern, 1, 2) == pytest.approx(4.0)
+        assert is_busy(pattern, 1, 2)
+
+    def test_busy_prefix_is_contiguous_for_front_loaded(self):
+        pattern = front_loaded_pattern(5, 3)
+        rounds = busy_rounds(pattern, 3)
+        assert rounds == list(range(1, len(rounds) + 1))
+
+    def test_lemma15_bound_holds_for_front_loaded(self):
+        n, T = 8, 3
+        count = busy_round_count(front_loaded_pattern(n, T), T)
+        assert count <= busy_round_bound(n, T)
+
+    def test_lemma15_bound_holds_for_staggered_patterns(self):
+        n, T = 6, 2
+        for gap in (1, 3, 7):
+            pattern = [i * gap for i in range(n)]
+            assert busy_round_count(pattern, T) <= busy_round_bound(n, T)
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            probability_mass([0], 0, 2)
+
+    def test_free_round_balance_point(self):
+        pattern = front_loaded_pattern(3, 1)
+        point = free_round_prefix_equal_point(pattern, 1, horizon=1000)
+        assert point is not None
+        # The balance point must come after the busy prefix.
+        assert point > busy_round_count(pattern, 1)
+
+    def test_wakeup_pattern_extraction(self):
+        from repro.graphs import line
+        from repro.sim import ScriptedProcess, run_broadcast
+
+        procs = [ScriptedProcess(i, range(1, 50)) for i in range(4)]
+        trace = run_broadcast(line(4), procs, max_rounds=20)
+        assert wakeup_pattern_of(trace) == [0, 1, 2, 3]
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 22]],
+            title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_none_renders_dash(self):
+        out = render_table(["a"], [[None]])
+        assert "—" in out
+
+    def test_row_length_validated(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_kv(self):
+        out = render_kv([["rounds", 12]], title="t")
+        assert "rounds" in out and "12" in out

@@ -1,0 +1,139 @@
+"""Unit tests for the round-robin and Decay baselines."""
+
+import pytest
+
+from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
+from repro.core.decay import DecayProcess, make_decay_processes, phase_length
+from repro.core.round_robin import (
+    RoundRobinProcess,
+    make_round_robin_processes,
+    round_robin_bound,
+)
+from repro.graphs import (
+    clique,
+    clique_bridge,
+    gnp_dual,
+    line,
+    with_complete_unreliable,
+)
+from repro.sim import CollisionRule, StartMode, run_broadcast
+
+
+class TestRoundRobin:
+    def test_slot_discipline(self):
+        n = 6
+        procs = make_round_robin_processes(n)
+        trace = run_broadcast(
+            with_complete_unreliable(line(n)),
+            procs,
+            adversary=GreedyInterferer(),
+            max_rounds=round_robin_bound(n, n),
+            start_mode=StartMode.SYNCHRONOUS,
+        )
+        # At most one sender per round, ever: slots never collide.
+        assert all(rec.num_senders <= 1 for rec in trace.rounds)
+
+    def test_completes_within_n_times_ecc_on_any_dual(self):
+        for seed in (0, 1, 2):
+            g = gnp_dual(18, seed=seed)
+            procs = make_round_robin_processes(18)
+            bound = round_robin_bound(18, g.source_eccentricity)
+            trace = run_broadcast(
+                g, procs, adversary=GreedyInterferer(), max_rounds=bound
+            )
+            assert trace.completed
+            assert trace.completion_round <= bound
+
+    def test_linear_on_two_broadcastable_network(self):
+        # Matches the paper's note after Theorem 4: round robin is the
+        # O(n) matching upper bound on constant-diameter networks.
+        layout = clique_bridge(14)
+        procs = make_round_robin_processes(14)
+        trace = run_broadcast(
+            layout.graph,
+            procs,
+            adversary=GreedyInterferer(),
+            max_rounds=round_robin_bound(14, 2),
+        )
+        assert trace.completed
+        assert trace.completion_round <= 2 * 14
+
+    def test_process_sends_only_in_its_slot(self):
+        import random
+        from repro.sim.messages import Message
+        from repro.sim.process import ProcessContext
+
+        p = RoundRobinProcess(3, n=8)
+        p.on_broadcast_input(Message("x", 3, 0))
+        ctx = ProcessContext(4, random.Random(0), 8)
+        assert p.decide_send(ctx) is not None  # (4-1) % 8 == 3
+        ctx.round_number = 5
+        assert p.decide_send(ctx) is None
+
+
+class TestDecay:
+    def test_phase_length(self):
+        assert phase_length(16) == 5
+        assert phase_length(2) == 2
+        with pytest.raises(ValueError):
+            phase_length(0)
+
+    def test_completes_on_classical_clique(self):
+        n = 16
+        procs = make_decay_processes(n)
+        trace = run_broadcast(
+            clique(n), procs, seed=1, max_rounds=4000,
+            collision_rule=CollisionRule.CR3,
+        )
+        assert trace.completed
+
+    def test_completes_on_classical_line(self):
+        n = 12
+        procs = make_decay_processes(n)
+        trace = run_broadcast(
+            line(n), procs, seed=3, max_rounds=8000,
+            collision_rule=CollisionRule.CR3,
+        )
+        assert trace.completed
+
+    def test_polylog_on_classical_clique(self):
+        # On a diameter-1 classical network Decay should finish in
+        # O(log^2 n)-ish rounds, far below n.
+        n = 64
+        procs = make_decay_processes(n)
+        trace = run_broadcast(
+            clique(n), procs, seed=5, max_rounds=5000,
+            collision_rule=CollisionRule.CR3,
+        )
+        assert trace.completed
+        assert trace.completion_round < n
+
+    def test_mid_phase_joiner_waits_for_phase_boundary(self):
+        import random
+        from repro.sim.messages import Message
+        from repro.sim.process import ProcessContext
+
+        n = 16  # phase length 5
+        p = DecayProcess(2, n=n)
+        ctx = ProcessContext(7, random.Random(0), n)
+        p.on_activate(ctx)
+        # Informed at round 7 (mid phase 2, which started at round 6).
+        p._first_message_round = 7
+        p._has_message = True
+        p._message = Message("x", 0, 7)
+        ctx.round_number = 8  # still phase 2 → must stay silent
+        assert p.decide_send(ctx) is None
+        ctx.round_number = 11  # phase 3 starts at round 11
+        assert p.decide_send(ctx) is not None  # slot 0: transmits
+
+    def test_no_guarantee_under_dual_graph_adversary(self):
+        # Decay may be arbitrarily delayed on the clique-bridge network;
+        # this documents the contrast the paper draws (we only check the
+        # run obeys the cap and doesn't crash).
+        layout = clique_bridge(10)
+        procs = make_decay_processes(10)
+        trace = run_broadcast(
+            layout.graph, procs, adversary=GreedyInterferer(), seed=0,
+            max_rounds=300,
+        )
+        assert trace.num_rounds <= 300

@@ -1,0 +1,123 @@
+"""Tests for k-broadcastability (Section 3)."""
+
+import pytest
+
+from repro.graphs import (
+    clique,
+    clique_bridge,
+    layered_pairs,
+    line,
+    star,
+    with_complete_unreliable,
+)
+from repro.graphs.broadcastability import (
+    broadcast_number,
+    greedy_broadcast_schedule,
+    guaranteed_informed,
+    is_k_broadcastable,
+)
+
+
+class TestGuaranteedInformed:
+    def test_lone_sender_informs_reliable_neighbours(self):
+        g = line(4)
+        assert guaranteed_informed(g, [1]) == {0, 2}
+
+    def test_two_senders_collide_at_common_neighbour(self):
+        g = line(3)  # 0-1-2; senders 0 and 2 both reach 1
+        assert guaranteed_informed(g, [0, 2]) == frozenset()
+
+    def test_unreliable_edge_blocks_guarantee(self):
+        g = with_complete_unreliable(line(4))
+        # Sender 0 reaches 1 reliably, but sender 3 holds an unreliable
+        # edge to 1: the adversary can collide, so no guarantee.
+        assert 1 not in guaranteed_informed(g, [0, 3])
+
+    def test_disjoint_senders_both_count_in_classical_graph(self):
+        g = line(6)
+        # Senders 1 and 4: node 0,2 from 1; nodes 3,5 from 4.
+        assert guaranteed_informed(g, [1, 4]) == {0, 2, 3, 5}
+
+    def test_sender_not_counted_as_informed_target(self):
+        g = line(3)
+        assert 0 not in guaranteed_informed(g, [0, 1])
+
+
+class TestBroadcastNumber:
+    def test_clique_is_1_broadcastable(self):
+        assert broadcast_number(clique(6)) == 1
+
+    def test_star_is_1_broadcastable(self):
+        assert broadcast_number(star(6)) == 1
+
+    def test_line_needs_eccentricity(self):
+        g = line(5)
+        assert broadcast_number(g) == g.source_eccentricity
+
+    def test_theorem2_network_is_2_broadcastable(self):
+        # The paper: source sends, then the bridge sends.
+        layout = clique_bridge(8)
+        assert broadcast_number(layout.graph) == 2
+
+    def test_theorem12_network_k_equals_layers(self):
+        layout = layered_pairs(9)
+        # One pivot per layer: eccentricity rounds suffice; the complete
+        # G' forbids any parallel speed-up below that.
+        k = broadcast_number(layout.graph)
+        assert k == layout.graph.source_eccentricity
+
+    def test_eccentricity_lower_bound(self):
+        # Section 3: distance from the source bounds k from below.
+        for g in (line(6), clique_bridge(7).graph, layered_pairs(9).graph):
+            k = broadcast_number(g)
+            assert k >= g.source_eccentricity
+
+    def test_every_network_is_n_broadcastable(self):
+        for g in (
+            line(6),
+            with_complete_unreliable(line(6)),
+            clique_bridge(7).graph,
+        ):
+            assert broadcast_number(g) is not None
+            assert broadcast_number(g) <= g.n
+
+    def test_limit_respected(self):
+        g = line(6)  # needs 5 rounds
+        assert broadcast_number(g, limit=3) is None
+
+    def test_singleton_network(self):
+        from repro.graphs.dualgraph import DualGraph
+
+        assert broadcast_number(DualGraph(1, [])) == 0
+
+
+class TestIsKBroadcastable:
+    def test_decision_wrapper(self):
+        layout = clique_bridge(8)
+        assert is_k_broadcastable(layout.graph, 2)
+        assert not is_k_broadcastable(layout.graph, 1)
+
+
+class TestGreedySchedule:
+    def test_schedule_is_feasible_upper_bound(self):
+        for g in (
+            line(8),
+            clique_bridge(9).graph,
+            layered_pairs(9).graph,
+            with_complete_unreliable(line(7)),
+        ):
+            rounds, schedule = greedy_broadcast_schedule(g)
+            assert rounds == len(schedule)
+            exact = broadcast_number(g)
+            assert exact is not None
+            assert rounds >= exact
+            # Replay the schedule: it must genuinely inform everyone.
+            informed = {g.source}
+            for senders in schedule:
+                assert set(senders) <= informed
+                informed |= guaranteed_informed(g, sorted(senders))
+            assert informed == set(g.nodes)
+
+    def test_greedy_matches_exact_on_easy_networks(self):
+        assert greedy_broadcast_schedule(clique(6))[0] == 1
+        assert greedy_broadcast_schedule(line(5))[0] == 4

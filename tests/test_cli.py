@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        rc = main(
+            [
+                "run", "--graph", "line", "--n", "8",
+                "--algorithm", "round_robin", "--adversary", "none",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "round_robin" in out
+
+    def test_json_output(self, capsys):
+        rc = main(
+            [
+                "run", "--graph", "gnp", "--n", "12",
+                "--algorithm", "harmonic", "--adversary", "random",
+                "--p", "0.3", "--json",
+            ]
+        )
+        assert rc == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["completed"] is True
+        assert decoded["n"] == 12
+
+    def test_incomplete_run_exit_code(self, capsys):
+        rc = main(
+            [
+                "run", "--graph", "line", "--n", "12",
+                "--algorithm", "round_robin", "--adversary", "none",
+                "--max-rounds", "2",
+            ]
+        )
+        assert rc == 1
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--graph", "nope"])
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--adversary", "nope", "--n", "8"])
+
+    @pytest.mark.parametrize(
+        "graph",
+        ["gnp", "line", "hard-line", "ring", "grid", "clique-bridge",
+         "layered-pairs", "pivot-layers"],
+    )
+    def test_every_graph_choice_runs(self, graph, capsys):
+        rc = main(
+            [
+                "run", "--graph", graph, "--n", "13",
+                "--algorithm", "round_robin", "--adversary", "none",
+            ]
+        )
+        assert rc == 0
+
+
+class TestSweep:
+    def test_sweep_prints_fit(self, capsys):
+        rc = main(
+            [
+                "sweep", "--graph", "line", "--algorithm", "round_robin",
+                "--adversary", "none", "--sizes", "8,16,32",
+                "--seeds", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "growth fit" in out
+        assert "completion rounds" in out
+
+
+class TestLowerBound:
+    def test_theorem2(self, capsys):
+        rc = main(["lowerbound", "--theorem", "2", "--n", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+        assert "True" in out  # bound holds
+
+    def test_theorem11(self, capsys):
+        rc = main(
+            ["lowerbound", "--theorem", "11", "--n", "20",
+             "--algorithm", "round_robin"]
+        )
+        assert rc == 0
+        assert "Theorem 11" in capsys.readouterr().out
+
+    def test_theorem12(self, capsys):
+        rc = main(["lowerbound", "--theorem", "12", "--n", "17"])
+        assert rc == 0
+        assert "Theorem 12" in capsys.readouterr().out
+
+    def test_randomized_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["lowerbound", "--theorem", "2", "--n", "10",
+                 "--algorithm", "harmonic"]
+            )
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

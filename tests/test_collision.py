@@ -1,0 +1,141 @@
+"""Unit tests for collision rules CR1–CR4 (Section 2.1 semantics)."""
+
+import pytest
+
+from repro.sim.collision import CollisionRule, resolve_reception
+from repro.sim.messages import Message, ReceptionKind
+
+
+def msg(sender, payload="p"):
+    return Message(payload, sender, round_sent=1)
+
+
+ALL_RULES = list(CollisionRule)
+
+
+class TestRuleProperties:
+    def test_collision_detection_availability(self):
+        assert CollisionRule.CR1.provides_collision_detection
+        assert CollisionRule.CR2.provides_collision_detection
+        assert not CollisionRule.CR3.provides_collision_detection
+        assert not CollisionRule.CR4.provides_collision_detection
+
+    def test_sender_hears_own_message(self):
+        assert not CollisionRule.CR1.sender_hears_own_message
+        for rule in (CollisionRule.CR2, CollisionRule.CR3, CollisionRule.CR4):
+            assert rule.sender_hears_own_message
+
+
+class TestNonSender:
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_no_arrivals_is_silence(self, rule):
+        r = resolve_reception(rule, 0, False, None, [])
+        assert r.is_silence
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_single_arrival_received(self, rule):
+        m = msg(1)
+        r = resolve_reception(rule, 0, False, None, [m])
+        assert r.is_message
+        assert r.message == m
+
+    def test_cr1_collision_notification(self):
+        r = resolve_reception(
+            CollisionRule.CR1, 0, False, None, [msg(1), msg(2)]
+        )
+        assert r.is_collision
+
+    def test_cr2_collision_notification(self):
+        r = resolve_reception(
+            CollisionRule.CR2, 0, False, None, [msg(1), msg(2)]
+        )
+        assert r.is_collision
+
+    def test_cr3_collision_is_silence(self):
+        r = resolve_reception(
+            CollisionRule.CR3, 0, False, None, [msg(1), msg(2)]
+        )
+        assert r.is_silence
+
+    def test_cr4_default_silence(self):
+        r = resolve_reception(
+            CollisionRule.CR4, 0, False, None, [msg(1), msg(2)]
+        )
+        assert r.is_silence
+
+    def test_cr4_adversary_delivers_one(self):
+        a, b = msg(1), msg(2)
+        r = resolve_reception(
+            CollisionRule.CR4,
+            0,
+            False,
+            None,
+            [a, b],
+            cr4_resolver=lambda node, msgs: msgs[1],
+        )
+        assert r.is_message
+        assert r.message == b
+
+    def test_cr4_adversary_chooses_silence(self):
+        r = resolve_reception(
+            CollisionRule.CR4,
+            0,
+            False,
+            None,
+            [msg(1), msg(2)],
+            cr4_resolver=lambda node, msgs: None,
+        )
+        assert r.is_silence
+
+    def test_cr4_adversary_must_pick_an_arrival(self):
+        with pytest.raises(ValueError):
+            resolve_reception(
+                CollisionRule.CR4,
+                0,
+                False,
+                None,
+                [msg(1), msg(2)],
+                cr4_resolver=lambda node, msgs: msg(9),
+            )
+
+    def test_cr4_resolver_sees_node(self):
+        seen = {}
+
+        def resolver(node, msgs):
+            seen["node"] = node
+            return None
+
+        resolve_reception(
+            CollisionRule.CR4, 42, False, None, [msg(1), msg(2)], resolver
+        )
+        assert seen["node"] == 42
+
+
+class TestSender:
+    def test_cr1_sender_alone_hears_own(self):
+        own = msg(0)
+        r = resolve_reception(CollisionRule.CR1, 0, True, own, [own])
+        assert r.is_message
+        assert r.message == own
+
+    def test_cr1_sender_collision(self):
+        own = msg(0)
+        r = resolve_reception(
+            CollisionRule.CR1, 0, True, own, [own, msg(1)]
+        )
+        assert r.is_collision
+
+    @pytest.mark.parametrize(
+        "rule",
+        [CollisionRule.CR2, CollisionRule.CR3, CollisionRule.CR4],
+    )
+    def test_sender_always_hears_own_under_cr2_to_cr4(self, rule):
+        own = msg(0)
+        r = resolve_reception(rule, 0, True, own, [own, msg(1), msg(2)])
+        assert r.is_message
+        assert r.message == own
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_sender_requires_own_message(self, rule):
+        with pytest.raises(ValueError):
+            resolve_reception(rule, 0, True, None, [])

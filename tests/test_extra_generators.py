@@ -1,0 +1,113 @@
+"""Tests for the additional topology generators."""
+
+import pytest
+
+from repro.graphs.extra_generators import (
+    caterpillar,
+    complete_binary_tree,
+    hypercube,
+    noisy_dual,
+    random_regular,
+)
+from repro.graphs import line
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube(3)
+        assert g.n == 8
+        assert all(len(g.reliable_out(v)) == 3 for v in g.nodes)
+        assert g.source_eccentricity == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hypercube(0)
+
+    def test_is_classical(self):
+        assert hypercube(4).is_classical
+
+
+class TestBinaryTree:
+    def test_structure(self):
+        g = complete_binary_tree(3)
+        assert g.n == 15
+        assert g.source_eccentricity == 3
+        assert len(g.reliable_out(0)) == 2  # root's two children
+
+    def test_depth_zero(self):
+        assert complete_binary_tree(0).n == 1
+
+    def test_leaf_degree_one(self):
+        g = complete_binary_tree(3)
+        assert len(g.reliable_out(14)) == 1
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = caterpillar(4, 2)
+        assert g.n == 12
+        # Interior spine node: 2 spine neighbours + 2 legs.
+        assert len(g.reliable_out(1)) == 4
+        # Legs are leaves.
+        assert len(g.reliable_out(4)) == 1
+
+    def test_no_legs_is_a_line(self):
+        g = caterpillar(5, 0)
+        assert g.n == 5
+        assert g.source_eccentricity == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            caterpillar(0, 2)
+
+
+class TestRandomRegular:
+    def test_degrees(self):
+        g = random_regular(16, 4, seed=1)
+        assert all(len(g.reliable_out(v)) == 4 for v in g.nodes)
+
+    def test_deterministic(self):
+        a = random_regular(16, 4, seed=1)
+        b = random_regular(16, 4, seed=1)
+        assert a.reliable_edges() == b.reliable_edges()
+
+    def test_parity_validation(self):
+        with pytest.raises(ValueError):
+            random_regular(7, 3)
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            random_regular(4, 4)
+
+    def test_low_diameter_like_expander(self):
+        g = random_regular(32, 4, seed=2)
+        assert g.source_eccentricity <= 6
+
+
+class TestNoisyDual:
+    def test_reliable_part_preserved(self):
+        base = line(10)
+        g = noisy_dual(base, extra_edge_fraction=0.5, seed=3)
+        assert g.reliable_edges() == base.reliable_edges()
+
+    def test_noise_volume(self):
+        base = line(10)
+        g = noisy_dual(base, extra_edge_fraction=1.0, seed=3)
+        extra = (len(g.all_edges()) - len(g.reliable_edges())) // 2
+        assert extra == len(base.reliable_edges()) // 2
+
+    def test_zero_fraction_is_classical(self):
+        assert noisy_dual(line(8), 0.0).is_classical
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            noisy_dual(line(5), -0.1)
+
+    def test_broadcast_still_works(self):
+        from repro import broadcast
+        from repro.adversaries import GreedyInterferer
+
+        g = noisy_dual(line(12), 0.8, seed=1)
+        trace = broadcast(g, "strong_select",
+                          adversary=GreedyInterferer(), seed=0)
+        assert trace.completed

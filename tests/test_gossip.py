@@ -1,0 +1,97 @@
+"""Tests for the gossip extension and the public engine stepping API."""
+
+import pytest
+
+from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
+from repro.extensions.gossip import GossipProcess, run_gossip
+from repro.graphs import (
+    clique,
+    directed_layered,
+    gnp_dual,
+    line,
+    ring,
+    with_complete_unreliable,
+)
+
+
+class TestGossip:
+    @pytest.mark.parametrize(
+        "graph",
+        [line(6), ring(7), clique(8), gnp_dual(12, seed=1),
+         with_complete_unreliable(line(6))],
+        ids=["line", "ring", "clique", "gnp", "hard-line"],
+    )
+    def test_everyone_learns_everything(self, graph):
+        result = run_gossip(graph, adversary=GreedyInterferer(), seed=1)
+        assert result.completed
+        assert all(c == graph.n for c in result.rumor_counts.values())
+
+    def test_bound_holds(self):
+        g = line(8)
+        result = run_gossip(g, seed=0)
+        assert result.completed
+        assert result.rounds <= 8 * (8 + 1)
+
+    def test_adversary_cannot_slow_gossip(self):
+        g = with_complete_unreliable(line(8))
+        benign = run_gossip(g, seed=0)
+        attacked = run_gossip(g, adversary=GreedyInterferer(), seed=0)
+        # Lone transmissions are adversary-proof: identical round counts.
+        assert attacked.rounds == benign.rounds
+
+    def test_custom_rumors(self):
+        g = ring(5)
+        result = run_gossip(g, rumors=list("abcde"))
+        assert result.completed
+
+    def test_rumor_count_validated(self):
+        with pytest.raises(ValueError):
+            run_gossip(ring(5), rumors=["only-one"])
+
+    def test_directed_non_strongly_connected_rejected(self):
+        g = directed_layered([1, 2, 2])
+        with pytest.raises(ValueError, match="strongly connected"):
+            run_gossip(g)
+
+    def test_random_links_can_only_help(self):
+        g = with_complete_unreliable(line(10))
+        base = run_gossip(g, seed=1)
+        helped = run_gossip(
+            g, adversary=RandomDeliveryAdversary(1.0, seed=1), seed=1
+        )
+        assert helped.completed
+        assert helped.rounds <= base.rounds
+
+
+class TestEngineStepping:
+    def test_step_sets_up_once(self):
+        from repro.sim import BroadcastEngine, EngineConfig, ScriptedProcess
+
+        g = line(4)
+        procs = [ScriptedProcess(i, range(1, 40)) for i in range(4)]
+        engine = BroadcastEngine(g, procs, config=EngineConfig(max_rounds=10))
+        rec1 = engine.step()
+        rec2 = engine.step()
+        assert rec1.round_number == 1
+        assert rec2.round_number == 2
+
+    def test_run_until_predicate(self):
+        from repro.sim import BroadcastEngine, EngineConfig, ScriptedProcess
+
+        g = line(6)
+        procs = [ScriptedProcess(i, range(1, 100)) for i in range(6)]
+        engine = BroadcastEngine(g, procs, config=EngineConfig(max_rounds=50))
+        trace = engine.run_until(lambda e: e.round_number >= 3)
+        assert trace.num_rounds == 3
+        assert not trace.completed
+
+    def test_run_after_steps_continues(self):
+        from repro.sim import BroadcastEngine, EngineConfig, ScriptedProcess
+
+        g = line(4)
+        procs = [ScriptedProcess(i, range(1, 40)) for i in range(4)]
+        engine = BroadcastEngine(g, procs, config=EngineConfig(max_rounds=10))
+        engine.step()
+        trace = engine.run()
+        assert trace.completed
+        assert trace.completion_round == 3

@@ -1,0 +1,76 @@
+"""Integration sweep: algorithms on the extended topology zoo.
+
+Broadcast must complete on every structure (within each algorithm's
+proven round limit) under both benign and adversarial link behaviour —
+the blanket guarantee the paper's model gives is topology-independence.
+"""
+
+import pytest
+
+from repro import broadcast
+from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
+from repro.graphs import (
+    caterpillar,
+    complete_binary_tree,
+    hypercube,
+    noisy_dual,
+    random_regular,
+)
+from repro.graphs.generators import line
+
+TOPOLOGIES = [
+    ("hypercube", lambda: hypercube(4)),
+    ("binary-tree", lambda: complete_binary_tree(3)),
+    ("caterpillar", lambda: caterpillar(5, 2)),
+    ("random-regular", lambda: random_regular(16, 4, seed=3)),
+    ("noisy-line", lambda: noisy_dual(line(12), 0.8, seed=1)),
+    ("noisy-tree", lambda: noisy_dual(complete_binary_tree(3), 1.0,
+                                      seed=2)),
+]
+
+ALGORITHMS = ["strong_select", "harmonic", "round_robin", "uniform"]
+
+
+@pytest.mark.parametrize("alg", ALGORITHMS)
+@pytest.mark.parametrize(
+    "name,make", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES]
+)
+def test_completes_under_greedy_interferer(alg, name, make):
+    g = make()
+    trace = broadcast(
+        g,
+        alg,
+        adversary=GreedyInterferer(),
+        seed=3,
+        algorithm_params={"T": 4} if alg == "harmonic" else {},
+    )
+    assert trace.completed
+
+
+@pytest.mark.parametrize(
+    "name,make", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES]
+)
+def test_completes_under_random_links(name, make):
+    g = make()
+    trace = broadcast(
+        g,
+        "strong_select",
+        adversary=RandomDeliveryAdversary(0.5, seed=1),
+        seed=4,
+    )
+    assert trace.completed
+
+
+@pytest.mark.parametrize(
+    "name,make", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES]
+)
+def test_round_robin_bound_holds_everywhere(name, make):
+    from repro.core import round_robin_bound
+
+    g = make()
+    bound = round_robin_bound(g.n, g.source_eccentricity)
+    trace = broadcast(
+        g, "round_robin", adversary=GreedyInterferer(), seed=0
+    )
+    assert trace.completed
+    assert trace.completion_round <= bound

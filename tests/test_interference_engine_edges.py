@@ -1,0 +1,136 @@
+"""Edge-case tests for the explicit-interference engine semantics."""
+
+import pytest
+
+from repro.graphs.dualgraph import DualGraph
+from repro.interference import InterferenceEngine, InterferenceNetwork
+from repro.sim import CollisionRule
+from repro.sim.process import ScriptedProcess
+
+
+def net_line_with_interference():
+    # G_T: 0-1-2-3; G_I additionally: 0-2, 0-3.
+    g = DualGraph(
+        4,
+        [(0, 1), (1, 2), (2, 3)],
+        [(0, 1), (1, 2), (2, 3), (0, 2), (0, 3)],
+        undirected=True,
+    )
+    return InterferenceNetwork(g)
+
+
+def scripted(rounds_by_uid, n=4, without=False):
+    return [
+        ScriptedProcess(i, rounds_by_uid.get(i, []),
+                        send_without_message=without)
+        for i in range(n)
+    ]
+
+
+class TestArrivalAccounting:
+    def test_transmission_arrival_plus_interference_is_collision_cr1(self):
+        # Round 1: 0 and 1 send (sync start, send_without_message).
+        # Node 2: G_T arrival from 1, G_I-only arrival from 0 → ⊤.
+        net = net_line_with_interference()
+        procs = scripted({0: [1], 1: [1]}, without=True)
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR1,
+            synchronous_start=True, max_rounds=1,
+        )
+        trace = eng.run()
+        assert trace.rounds[0].receptions[2].is_collision
+
+    def test_interference_only_arrivals_are_silence_even_many(self):
+        # Nodes 0 and 1... make 3's only arrivals interference-only:
+        # only node 0 sends; node 3 hears ⊥ (G_I edge 0-3).
+        net = net_line_with_interference()
+        procs = scripted({0: [1]}, without=True)
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR1,
+            synchronous_start=True, max_rounds=1,
+        )
+        trace = eng.run()
+        assert trace.rounds[0].receptions[3].is_silence
+
+    def test_cr3_collision_is_silence(self):
+        net = net_line_with_interference()
+        procs = scripted({0: [1], 1: [1]}, without=True)
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR3,
+            synchronous_start=True, max_rounds=1,
+        )
+        trace = eng.run()
+        assert trace.rounds[0].receptions[2].is_silence
+
+    def test_cr4_choose_first_delivers_receivable_only(self):
+        net = net_line_with_interference()
+        procs = scripted({0: [1], 1: [1]}, without=True)
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR4,
+            synchronous_start=True, max_rounds=1, cr4_choose_first=True,
+        )
+        trace = eng.run()
+        rec = trace.rounds[0].receptions[2]
+        # The only receivable arrival at node 2 came from node 1.
+        assert rec.is_message
+        assert rec.message.sender == 1
+
+    def test_cr1_sender_collision_includes_interference(self):
+        # Sender 0 + sender 2: node 0 hears its own message plus 2's
+        # interference (G_I edge 0-2) → ⊤ under CR1.
+        net = net_line_with_interference()
+        procs = scripted({0: [1], 2: [1]}, without=True)
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR1,
+            synchronous_start=True, max_rounds=1,
+        )
+        trace = eng.run()
+        assert trace.rounds[0].receptions[0].is_collision
+
+    def test_cr2_sender_hears_own_despite_interference(self):
+        net = net_line_with_interference()
+        procs = scripted({0: [1], 2: [1]}, without=True)
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR2,
+            synchronous_start=True, max_rounds=1,
+        )
+        trace = eng.run()
+        rec = trace.rounds[0].receptions[0]
+        assert rec.is_message and rec.message.sender == 0
+
+
+class TestAsyncStartInInterferenceModel:
+    def test_sleepers_wake_only_on_receivable_messages(self):
+        # One sender per round, so nothing collides: the message must
+        # travel over G_T only (0→1→2→3), one hop per round — never over
+        # the interference shortcuts 0-2 / 0-3.
+        net = net_line_with_interference()
+        procs = scripted({0: [1], 1: [2], 2: [3]})
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR4,
+            synchronous_start=False, max_rounds=10,
+        )
+        trace = eng.run()
+        assert trace.informed_round[1] == 1
+        assert trace.informed_round[2] == 2
+        assert trace.informed_round[3] == 3
+
+    def test_persistent_senders_starve_interfered_node(self):
+        # With 0 and 1 both transmitting every round, node 2 collides
+        # forever (G_T arrival from 1 + interference from 0): broadcast
+        # genuinely cannot complete — interference edges matter.
+        net = net_line_with_interference()
+        procs = scripted({0: range(1, 30), 1: range(1, 30),
+                          2: range(1, 30)})
+        eng = InterferenceEngine(
+            net, procs, collision_rule=CollisionRule.CR4,
+            synchronous_start=False, max_rounds=30,
+        )
+        trace = eng.run()
+        assert trace.informed_round[1] == 1
+        assert trace.informed_round[2] is None
+
+    def test_process_count_validated(self):
+        net = net_line_with_interference()
+        with pytest.raises(ValueError):
+            InterferenceEngine(net, scripted({}, n=3))

@@ -1,0 +1,73 @@
+"""Unit tests for message and reception primitives."""
+
+import pytest
+
+from repro.sim.messages import (
+    COLLISION,
+    Message,
+    Reception,
+    ReceptionKind,
+    SILENCE,
+    received,
+)
+
+
+class TestMessage:
+    def test_fields(self):
+        m = Message(payload="hello", sender=3, round_sent=7)
+        assert m.payload == "hello"
+        assert m.sender == 3
+        assert m.round_sent == 7
+        assert m.meta == {}
+
+    def test_restamped_preserves_payload(self):
+        m = Message(payload="data", sender=1, round_sent=2, meta={"k": 1})
+        r = m.restamped(sender=5, round_sent=9)
+        assert r.payload == "data"
+        assert r.sender == 5
+        assert r.round_sent == 9
+        assert r.meta == {"k": 1}
+
+    def test_restamped_copies_meta(self):
+        m = Message(payload="data", sender=1, round_sent=2, meta={"k": 1})
+        r = m.restamped(sender=5, round_sent=9)
+        r.meta["k"] = 2
+        assert m.meta["k"] == 1
+
+    def test_equality_ignores_meta(self):
+        a = Message("p", 1, 2, meta={"x": 1})
+        b = Message("p", 1, 2, meta={"y": 2})
+        assert a == b
+
+    def test_inequality_on_sender(self):
+        assert Message("p", 1, 2) != Message("p", 3, 2)
+
+
+class TestReception:
+    def test_silence_singleton(self):
+        assert SILENCE.is_silence
+        assert not SILENCE.is_message
+        assert not SILENCE.is_collision
+        assert SILENCE.message is None
+
+    def test_collision_singleton(self):
+        assert COLLISION.is_collision
+        assert not COLLISION.is_message
+
+    def test_received_carries_message(self):
+        m = Message("p", 0, 1)
+        r = received(m)
+        assert r.is_message
+        assert r.message is m
+
+    def test_message_kind_requires_message(self):
+        with pytest.raises(ValueError):
+            Reception(ReceptionKind.MESSAGE, None)
+
+    def test_silence_kind_rejects_message(self):
+        with pytest.raises(ValueError):
+            Reception(ReceptionKind.SILENCE, Message("p", 0, 1))
+
+    def test_collision_kind_rejects_message(self):
+        with pytest.raises(ValueError):
+            Reception(ReceptionKind.COLLISION, Message("p", 0, 1))

@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.plots import bars, scatter
+
+
+class TestScatter:
+    def test_single_series_renders(self):
+        out = scatter({"t": [(1, 1), (2, 4), (3, 9)]}, title="squares")
+        assert "squares" in out
+        assert "*" in out
+        assert "t" in out.splitlines()[-1]  # legend
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = scatter({"a": [(1, 1)], "b": [(2, 2)]})
+        legend = out.splitlines()[-1]
+        assert "* a" in legend
+        assert "o b" in legend
+
+    def test_log_axes(self):
+        out = scatter(
+            {"t": [(10, 10), (100, 1000), (1000, 100000)]},
+            logx=True,
+            logy=True,
+        )
+        assert "10" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter({"t": [(0, 1)]}, logx=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter({"t": []})
+
+    def test_degenerate_single_point(self):
+        out = scatter({"t": [(5, 5)]})
+        assert "*" in out
+
+    def test_canvas_dimensions(self):
+        out = scatter({"t": [(1, 1), (2, 2)]}, width=30, height=8)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+
+
+class TestBars:
+    def test_renders_scaled_bars(self):
+        out = bars([("a", 10), ("b", 5)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_value_has_no_bar(self):
+        out = bars([("a", 10), ("zero", 0)])
+        zero_line = [l for l in out.splitlines() if "zero" in l][0]
+        assert "█" not in zero_line
+
+    def test_tiny_value_shows_sliver(self):
+        out = bars([("big", 1000), ("tiny", 1)])
+        tiny_line = [l for l in out.splitlines() if "tiny" in l][0]
+        assert "▏" in tiny_line or "█" in tiny_line
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bars([("a", -1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bars([])
+
+    def test_unit_suffix(self):
+        out = bars([("a", 3)], unit=" rounds")
+        assert "3 rounds" in out

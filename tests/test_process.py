@@ -1,0 +1,94 @@
+"""Unit tests for the Process automaton base class."""
+
+import random
+
+import pytest
+
+from repro.sim.messages import Message, SILENCE, received
+from repro.sim.process import (
+    Process,
+    ProcessContext,
+    ScriptedProcess,
+    SilentProcess,
+)
+
+
+def ctx(round_number=1, n=4):
+    return ProcessContext(round_number, random.Random(0), n)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        p = SilentProcess(uid=3)
+        assert p.uid == 3
+        assert not p.has_message
+        assert p.message is None
+        assert p.activation_round is None
+        assert p.first_message_round is None
+
+    def test_broadcast_input_marks_source(self):
+        p = SilentProcess(uid=0)
+        p.on_broadcast_input(Message("payload", 0, 0))
+        assert p.has_message
+        assert p.first_message_round == 0
+
+    def test_activation_records_round(self):
+        p = SilentProcess(uid=1)
+        c = ctx(round_number=5)
+        p.on_activate(c)
+        assert p.activation_round == 5
+
+    def test_deliver_records_first_message_round(self):
+        p = SilentProcess(uid=1)
+        p.on_activate(ctx(0))
+        p.deliver(ctx(7), received(Message("payload", 0, 7)))
+        assert p.first_message_round == 7
+        # A later message does not overwrite it.
+        p.deliver(ctx(9), received(Message("payload", 2, 9)))
+        assert p.first_message_round == 7
+
+    def test_silence_does_not_inform(self):
+        p = SilentProcess(uid=1)
+        p.deliver(ctx(3), SILENCE)
+        assert not p.has_message
+
+    def test_outgoing_requires_message(self):
+        p = SilentProcess(uid=1)
+        with pytest.raises(RuntimeError, match="no message"):
+            p.outgoing(ctx())
+
+    def test_outgoing_restamps(self):
+        p = SilentProcess(uid=1)
+        p.deliver(ctx(2), received(Message("payload", 0, 2)))
+        msg = p.outgoing(ctx(5), level=3)
+        assert msg.sender == 1
+        assert msg.round_sent == 5
+        assert msg.payload == "payload"
+        assert msg.meta["level"] == 3
+
+
+class TestScriptedProcess:
+    def test_sends_only_in_scripted_rounds_with_message(self):
+        p = ScriptedProcess(uid=2, send_rounds=[3, 5])
+        p.deliver(ctx(1), received(Message("payload", 0, 1)))
+        assert p.decide_send(ctx(2)) is None
+        assert p.decide_send(ctx(3)) is not None
+        assert p.decide_send(ctx(4)) is None
+        assert p.decide_send(ctx(5)) is not None
+
+    def test_without_message_silent_by_default(self):
+        p = ScriptedProcess(uid=2, send_rounds=[1])
+        assert p.decide_send(ctx(1)) is None
+
+    def test_send_without_message_flag(self):
+        p = ScriptedProcess(uid=2, send_rounds=[1],
+                            send_without_message=True)
+        msg = p.decide_send(ctx(1))
+        assert msg is not None
+        assert msg.payload is None  # carries no broadcast content
+
+
+class TestAbstractness:
+    def test_process_is_abstract(self):
+        with pytest.raises(TypeError):
+            Process(uid=0)  # type: ignore[abstract]

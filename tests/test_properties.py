@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the model's structural invariants (``E ⊆ E'``, reachability),
+SSF selectivity, engine determinism, broadcast correctness under random
+adversaries, and the Harmonic busy-round bound on arbitrary wake-up
+patterns.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
+from repro.analysis import busy_round_count, probability_mass
+from repro.core import (
+    make_round_robin_processes,
+    make_strong_select_processes,
+    round_robin_bound,
+)
+from repro.core.harmonic import busy_round_bound, sending_probability
+from repro.core.ssf import find_violation, random_ssf
+from repro.core.strong_select import build_schedule
+from repro.graphs import gnp_dual
+from repro.sim import CollisionRule, run_broadcast
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    pr=st.floats(min_value=0.0, max_value=1.0),
+    pu=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_gnp_dual_invariants(n, pr, pu, seed):
+    """Every generated dual graph satisfies E ⊆ E' and reachability."""
+    g = gnp_dual(n, p_reliable=pr, p_unreliable=pu, seed=seed)
+    assert g.reliable_edges() <= g.all_edges()
+    for v in g.nodes:
+        assert g.distance_from_source(v) <= n - 1
+        assert g.reliable_out(v) <= g.all_out(v)
+        assert not (g.unreliable_only_out(v) & g.reliable_out(v))
+
+
+@given(
+    n=st.integers(min_value=4, max_value=14),
+    k=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_ssf_selectivity(n, k, seed):
+    """The seeded existential SSF construction is genuinely selective.
+
+    (Checked exhaustively; the sizes here are small enough and the
+    failure budget delta tiny enough that a violation would indicate a
+    bug, not bad luck.)
+    """
+    k = min(k, n)
+    fam = random_ssf(n, k, seed=seed, delta=1e-9)
+    assert find_violation(fam) is None
+
+
+@given(
+    n=st.integers(min_value=3, max_value=24),
+    seed=st.integers(min_value=0, max_value=500),
+    p=st.floats(min_value=0.0, max_value=1.0),
+)
+@SLOW
+def test_round_robin_completes_under_random_adversary(n, seed, p):
+    """Round robin finishes within n·ecc on any dual under any random
+    link behaviour — network-wide isolation slots are adversary-proof."""
+    g = gnp_dual(n, seed=seed)
+    bound = round_robin_bound(n, g.source_eccentricity)
+    trace = run_broadcast(
+        g,
+        make_round_robin_processes(n),
+        adversary=RandomDeliveryAdversary(p, seed=seed),
+        max_rounds=bound,
+    )
+    assert trace.completed
+    assert trace.completion_round <= bound
+
+
+@given(
+    n=st.integers(min_value=3, max_value=20),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@SLOW
+def test_strong_select_completes_under_greedy_interferer(n, seed):
+    """Strong Select always finishes within its Theorem-10 bound."""
+    g = gnp_dual(n, seed=seed)
+    sched = build_schedule(n)
+    trace = run_broadcast(
+        g,
+        make_strong_select_processes(n),
+        adversary=GreedyInterferer(),
+        max_rounds=sched.round_bound(),
+        collision_rule=CollisionRule.CR4,
+    )
+    assert trace.completed
+    assert trace.completion_round <= sched.round_bound()
+
+
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@SLOW
+def test_engine_determinism(n, seed):
+    """Identical configuration ⇒ identical execution, round for round."""
+    from repro.core import make_harmonic_processes
+
+    g = gnp_dual(n, seed=seed)
+    traces = [
+        run_broadcast(
+            g,
+            make_harmonic_processes(n, T=2),
+            adversary=RandomDeliveryAdversary(0.4, seed=seed),
+            seed=seed,
+            max_rounds=6000,
+        )
+        for _ in range(2)
+    ]
+    assert [sorted(r.senders) for r in traces[0].rounds] == [
+        sorted(r.senders) for r in traces[1].rounds
+    ]
+    assert traces[0].informed_round == traces[1].informed_round
+
+
+@given(
+    n=st.integers(min_value=3, max_value=16),
+    seed=st.integers(min_value=0, max_value=300),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    rule=st.sampled_from(list(CollisionRule)),
+)
+@SLOW
+def test_engine_traces_validate_against_model_semantics(n, seed, p, rule):
+    """Every engine execution passes the independent semantic validator."""
+    from repro.core import make_harmonic_processes
+    from repro.sim import (
+        BroadcastEngine,
+        EngineConfig,
+        StartMode,
+        validate_execution,
+    )
+
+    g = gnp_dual(n, seed=seed)
+    config = EngineConfig(
+        collision_rule=rule,
+        start_mode=StartMode.ASYNCHRONOUS,
+        seed=seed,
+        max_rounds=4000,
+        record_receptions=True,
+    )
+    engine = BroadcastEngine(
+        g,
+        make_harmonic_processes(n, T=2),
+        RandomDeliveryAdversary(p, seed=seed, cr4_mode="first"),
+        config,
+    )
+    trace = engine.run()
+    assert validate_execution(trace, g, rule, StartMode.ASYNCHRONOUS) == []
+
+
+@given(
+    gaps=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=1, max_size=10
+    ),
+    T=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_busy_round_bound_on_arbitrary_patterns(gaps, T):
+    """Lemma 15: any wake-up pattern has at most n·T·H(n) busy rounds."""
+    pattern = [0]
+    for gap in gaps:
+        pattern.append(pattern[-1] + gap)
+    n = len(pattern)
+    assert busy_round_count(pattern, T) <= busy_round_bound(n, T)
+
+
+@given(
+    t_v=st.integers(min_value=0, max_value=50),
+    T=st.integers(min_value=1, max_value=10),
+    t=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_sending_probability_is_harmonic(t_v, T, t):
+    """p_v(t) ∈ {0} ∪ {1/i}; equals 1/(1+⌊(t−t_v−1)/T⌋) past receipt."""
+    p = sending_probability(t, t_v, T)
+    if t <= t_v:
+        assert p == 0.0
+    else:
+        i = 1 + (t - t_v - 1) // T
+        assert p == 1.0 / i
+        assert 0 < p <= 1
+
+
+@given(
+    pattern=st.lists(
+        st.integers(min_value=0, max_value=40), min_size=1, max_size=8
+    ),
+    T=st.integers(min_value=1, max_value=4),
+    t=st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_probability_mass_monotone_in_wakeups(pattern, T, t):
+    """Waking an extra node can only increase P(t)."""
+    base = probability_mass(sorted(pattern), t, T)
+    more = probability_mass(sorted(pattern) + [0], t, T)
+    assert more >= base
+
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    s_max=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_strong_select_schedule_partition(n, s_max):
+    """Every round belongs to exactly one family level, and per-epoch
+    level counts follow the 1, 2, 4, … pattern."""
+    sched = build_schedule(n, s_max=s_max)
+    # build_schedule clamps s_max so intermediate SSFs fit the universe.
+    assert sched.s_max <= max(1, int(math.floor(math.log2(n))) + 1)
+    epoch_len = sched.epoch_length
+    counts = {}
+    for r in range(1, 3 * epoch_len + 1):
+        s, p = sched.level_of_round(r)
+        assert 1 <= s <= sched.s_max
+        counts.setdefault(((r - 1) // epoch_len, s), 0)
+        counts[((r - 1) // epoch_len, s)] += 1
+    for (epoch, s), c in counts.items():
+        assert c == 1 << (s - 1)

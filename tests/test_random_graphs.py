@@ -1,0 +1,94 @@
+"""Unit tests for random and geometric dual graph generators."""
+
+import math
+
+import pytest
+
+from repro.graphs import gnp_dual, gray_zone
+from repro.graphs.dualgraph import DualGraphError
+
+
+class TestGnpDual:
+    def test_connected_reliable_graph(self):
+        g = gnp_dual(40, seed=7)
+        assert all(g.distance_from_source(v) >= 0 for v in g.nodes)
+
+    def test_deterministic_given_seed(self):
+        a = gnp_dual(30, seed=5)
+        b = gnp_dual(30, seed=5)
+        assert a.reliable_edges() == b.reliable_edges()
+        assert a.all_edges() == b.all_edges()
+
+    def test_seed_changes_graph(self):
+        a = gnp_dual(30, seed=5)
+        b = gnp_dual(30, seed=6)
+        assert a.all_edges() != b.all_edges()
+
+    def test_undirected(self):
+        assert gnp_dual(20, seed=1).is_undirected
+
+    def test_zero_unreliable_gives_classical(self):
+        g = gnp_dual(20, p_unreliable=0.0, seed=2)
+        assert g.is_classical
+
+    def test_extreme_densities(self):
+        g = gnp_dual(12, p_reliable=1.0, p_unreliable=0.0, seed=0)
+        # Complete reliable graph.
+        assert all(len(g.reliable_out(v)) == 11 for v in g.nodes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gnp_dual(1)
+        with pytest.raises(ValueError):
+            gnp_dual(10, p_reliable=1.5)
+
+    def test_unreliable_density_scales(self):
+        sparse = gnp_dual(40, p_reliable=0.05, p_unreliable=0.05, seed=3)
+        dense = gnp_dual(40, p_reliable=0.05, p_unreliable=0.6, seed=3)
+        sparse_extra = sum(
+            len(sparse.unreliable_only_out(v)) for v in sparse.nodes
+        )
+        dense_extra = sum(
+            len(dense.unreliable_only_out(v)) for v in dense.nodes
+        )
+        assert dense_extra > sparse_extra
+
+
+class TestGrayZone:
+    def test_positions_and_graph(self):
+        g, pos = gray_zone(30, seed=1)
+        assert g.n == 30
+        assert len(pos) == 30
+        assert all(0 <= x <= 1 and 0 <= y <= 1 for x, y in pos)
+
+    def test_radii_respected(self):
+        g, pos = gray_zone(
+            30, reliable_radius=0.25, gray_radius=0.5, seed=2
+        )
+        for u in g.nodes:
+            for v in g.reliable_out(u):
+                assert math.dist(pos[u], pos[v]) <= 0.25 + 1e-9
+            for v in g.unreliable_only_out(u):
+                d = math.dist(pos[u], pos[v])
+                assert 0.25 - 1e-9 <= d <= 0.5 + 1e-9
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError):
+            gray_zone(10, reliable_radius=0.5, gray_radius=0.2)
+
+    def test_impossible_placement_raises(self):
+        # Tiny radius on many nodes cannot be connected.
+        with pytest.raises(DualGraphError):
+            gray_zone(
+                50,
+                reliable_radius=0.01,
+                gray_radius=0.02,
+                seed=0,
+                max_attempts=3,
+            )
+
+    def test_deterministic_given_seed(self):
+        g1, p1 = gray_zone(25, seed=9)
+        g2, p2 = gray_zone(25, seed=9)
+        assert p1 == p2
+        assert g1.all_edges() == g2.all_edges()

@@ -1,0 +1,172 @@
+"""Tests for trace serialization and replay adversaries."""
+
+import pytest
+
+from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
+from repro.adversaries.scripted import ReplayAdversary, ScriptedDeliveries
+from repro.core import make_harmonic_processes, make_round_robin_processes
+from repro.graphs import gnp_dual, line, with_complete_unreliable
+from repro.sim import (
+    BroadcastEngine,
+    CollisionRule,
+    EngineConfig,
+    ScriptedProcess,
+    StartMode,
+    run_broadcast,
+)
+from repro.sim.recording import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+def recorded_run(network, processes, adversary, seed=0):
+    config = EngineConfig(
+        seed=seed, max_rounds=20_000, record_receptions=True
+    )
+    return BroadcastEngine(network, processes, adversary, config).run()
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        g = gnp_dual(12, seed=1)
+        trace = recorded_run(
+            g,
+            make_round_robin_processes(12),
+            RandomDeliveryAdversary(0.5, seed=2),
+        )
+        loaded = trace_from_json(trace_to_json(trace))
+        assert loaded.n == trace.n
+        assert loaded.proc == dict(trace.proc)
+        assert loaded.completed == trace.completed
+        assert loaded.informed_round == trace.informed_round
+        assert len(loaded.rounds) == len(trace.rounds)
+        for a, b in zip(loaded.rounds, trace.rounds):
+            assert a.senders == dict(b.senders)
+            assert a.unreliable_deliveries == dict(b.unreliable_deliveries)
+            assert a.newly_informed == b.newly_informed
+            assert a.receptions == dict(b.receptions)
+
+    def test_roundtrip_without_receptions(self):
+        g = line(5)
+        trace = run_broadcast(
+            g,
+            [ScriptedProcess(i, range(1, 40)) for i in range(5)],
+            max_rounds=10,
+        )
+        loaded = trace_from_json(trace_to_json(trace))
+        assert loaded.rounds[0].receptions is None
+        assert loaded.completion_round == trace.completion_round
+
+    def test_file_roundtrip(self, tmp_path):
+        g = line(4)
+        trace = run_broadcast(
+            g,
+            [ScriptedProcess(i, range(1, 40)) for i in range(4)],
+            max_rounds=10,
+        )
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        loaded = load_trace(str(path))
+        assert loaded.summary() == trace.summary()
+
+    def test_version_check(self):
+        import json
+
+        g = line(3)
+        trace = run_broadcast(
+            g,
+            [ScriptedProcess(i, range(1, 40)) for i in range(3)],
+            max_rounds=5,
+        )
+        doc = json.loads(trace_to_json(trace))
+        doc["format_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            trace_from_json(json.dumps(doc))
+
+
+class TestReplayAdversary:
+    @pytest.mark.parametrize(
+        "factory,adversary_factory",
+        [
+            (make_round_robin_processes,
+             lambda: RandomDeliveryAdversary(0.5, seed=4, cr4_mode="first")),
+            (make_harmonic_processes, GreedyInterferer),
+        ],
+        ids=["round_robin+random", "harmonic+greedy"],
+    )
+    def test_replay_reproduces_execution(self, factory, adversary_factory):
+        g = gnp_dual(12, seed=6)
+        n = 12
+        original = recorded_run(g, factory(n), adversary_factory(), seed=9)
+        replayed = recorded_run(
+            g, factory(n), ReplayAdversary(original), seed=9
+        )
+        assert replayed.completion_round == original.completion_round
+        for a, b in zip(original.rounds, replayed.rounds):
+            assert sorted(a.senders) == sorted(b.senders)
+            assert a.unreliable_deliveries == b.unreliable_deliveries
+            assert a.receptions == b.receptions
+
+    def test_replay_after_serialization(self):
+        g = gnp_dual(10, seed=2)
+        original = recorded_run(
+            g,
+            make_round_robin_processes(10),
+            RandomDeliveryAdversary(0.4, seed=1),
+            seed=3,
+        )
+        revived = trace_from_json(trace_to_json(original))
+        replayed = recorded_run(
+            g,
+            make_round_robin_processes(10),
+            ReplayAdversary(revived),
+            seed=3,
+        )
+        assert replayed.completion_round == original.completion_round
+
+    def test_replay_rejects_bad_proc(self):
+        g = gnp_dual(8, seed=0)
+        original = recorded_run(
+            g, make_round_robin_processes(8),
+            RandomDeliveryAdversary(0.3, seed=1),
+        )
+        adversary = ReplayAdversary(original)
+        with pytest.raises(ValueError):
+            adversary.assign_processes(g, list(range(9)))
+
+
+class TestScriptedDeliveries:
+    def test_exact_round_table(self):
+        g = with_complete_unreliable(line(4))
+        # Round 1: deliver the source's unreliable edge to node 3.
+        script = {1: {0: [2, 3]}}
+        procs = [ScriptedProcess(i, range(1, 40)) for i in range(4)]
+        trace = run_broadcast(
+            g, procs, adversary=ScriptedDeliveries(script), max_rounds=10,
+        )
+        # Node 3 informed immediately through the scripted delivery.
+        assert trace.informed_round[3] == 1
+
+    def test_missing_rounds_deliver_nothing(self):
+        g = with_complete_unreliable(line(4))
+        procs = [ScriptedProcess(i, range(1, 40)) for i in range(4)]
+        trace = run_broadcast(
+            g, procs, adversary=ScriptedDeliveries({}), max_rounds=10,
+        )
+        assert trace.informed_round[3] == 3  # pure reliable hops
+
+    def test_fixed_proc_mapping(self):
+        g = line(3)
+        script = {}
+        mapping = {0: 2, 1: 1, 2: 0}
+        procs = [ScriptedProcess(i, range(1, 40)) for i in range(3)]
+        config = EngineConfig(max_rounds=8)
+        engine = BroadcastEngine(
+            g, procs, ScriptedDeliveries(script, proc_mapping=mapping),
+            config,
+        )
+        trace = engine.run()
+        assert trace.proc[0] == 2

@@ -1,0 +1,98 @@
+"""Unit tests for the high-level broadcast() runner API."""
+
+import pytest
+
+from repro import algorithm_names, broadcast, make_processes
+from repro.adversaries import GreedyInterferer
+from repro.core.runner import register_algorithm, suggested_round_limit
+from repro.graphs import gnp_dual, line
+from repro.sim import CollisionRule, StartMode
+from repro.sim.process import SilentProcess
+
+
+class TestRegistry:
+    def test_known_algorithms(self):
+        names = algorithm_names()
+        for expected in (
+            "strong_select",
+            "strong_select_ks",
+            "harmonic",
+            "round_robin",
+            "decay",
+        ):
+            assert expected in names
+
+    def test_make_processes_counts_and_uids(self):
+        procs = make_processes("round_robin", 7)
+        assert len(procs) == 7
+        assert sorted(p.uid for p in procs) == list(range(7))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_processes("nope", 4)
+
+    def test_register_custom(self):
+        register_algorithm(
+            "always_silent_test",
+            lambda n, **kw: [SilentProcess(uid=i) for i in range(n)],
+        )
+        procs = make_processes("always_silent_test", 3)
+        assert len(procs) == 3
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("always_silent_test", lambda n: [])
+
+
+class TestSuggestedLimits:
+    def test_limits_positive_and_ordered(self):
+        g = gnp_dual(32, seed=0)
+        ss = suggested_round_limit("strong_select", g)
+        rr = suggested_round_limit("round_robin", g)
+        hm = suggested_round_limit("harmonic", g)
+        dc = suggested_round_limit("decay", g)
+        assert all(x > 0 for x in (ss, rr, hm, dc))
+        # Strong Select's n^{3/2}-shaped bound dominates round robin's
+        # n * ecc on a low-eccentricity random graph.
+        assert ss > rr
+
+
+class TestBroadcastEntryPoint:
+    @pytest.mark.parametrize(
+        "alg", ["strong_select", "harmonic", "round_robin", "decay"]
+    )
+    def test_all_algorithms_complete_without_adversary(self, alg):
+        trace = broadcast(gnp_dual(16, seed=2), alg, seed=1)
+        assert trace.completed
+
+    def test_adversary_forwarded(self):
+        trace = broadcast(
+            gnp_dual(16, seed=2),
+            "round_robin",
+            adversary=GreedyInterferer(),
+            seed=1,
+        )
+        assert trace.completed
+
+    def test_algorithm_params_forwarded(self):
+        trace = broadcast(
+            line(8),
+            "harmonic",
+            algorithm_params={"T": 2},
+            seed=4,
+            max_rounds=5000,
+        )
+        assert trace.completed
+
+    def test_config_kwargs_forwarded(self):
+        trace = broadcast(
+            line(6),
+            "round_robin",
+            collision_rule=CollisionRule.CR1,
+            start_mode=StartMode.SYNCHRONOUS,
+            seed=0,
+        )
+        assert trace.completed
+
+    def test_explicit_max_rounds(self):
+        trace = broadcast(line(8), "round_robin", max_rounds=3)
+        assert trace.num_rounds <= 3
+        assert not trace.completed

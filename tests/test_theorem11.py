@@ -1,0 +1,109 @@
+"""Tests for the Theorem 11 pivot-layer hardness driver."""
+
+import pytest
+
+from repro.core import (
+    make_round_robin_processes,
+    make_strong_select_processes,
+)
+from repro.graphs import pivot_layers
+from repro.lowerbounds import (
+    theorem11_lower_bound,
+    verify_with_engine,
+    worst_case_proc_mapping,
+)
+
+
+class TestDriverMechanics:
+    def test_requires_exactly_one_of_layout_or_n(self):
+        with pytest.raises(ValueError):
+            theorem11_lower_bound(make_round_robin_processes)
+        with pytest.raises(ValueError):
+            theorem11_lower_bound(
+                make_round_robin_processes, layout=pivot_layers(3, 3), n=10
+            )
+
+    def test_activation_rounds_strictly_increase(self):
+        layout = pivot_layers(5, 4)
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout
+        )
+        assert res.completed
+        assert res.activation_rounds == sorted(set(res.activation_rounds))
+        assert len(res.activation_rounds) == layout.num_layers
+
+    def test_pivot_uids_come_from_their_layers(self):
+        layout = pivot_layers(4, 3)
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout
+        )
+        for k, pivot in enumerate(res.pivot_uids):
+            assert pivot in res.layer_uids[k]
+
+    def test_layer_uids_partition_identity_space(self):
+        layout = pivot_layers(4, 3)
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout
+        )
+        flat = [u for layer in res.layer_uids for u in layer]
+        assert sorted(flat) == list(range(layout.graph.n))
+
+    def test_proc_mapping_is_bijective(self):
+        layout = pivot_layers(4, 3)
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout
+        )
+        mapping = worst_case_proc_mapping(layout, res)
+        assert sorted(mapping) == list(range(layout.graph.n))
+        assert sorted(mapping.values()) == list(range(layout.graph.n))
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize(
+        "factory",
+        [make_round_robin_processes, make_strong_select_processes],
+        ids=["round_robin", "strong_select"],
+    )
+    def test_engine_replay_matches_prediction(self, factory):
+        layout = pivot_layers(4, 4)
+        res = theorem11_lower_bound(factory, layout=layout)
+        assert res.completed
+        trace = verify_with_engine(factory, layout, res)
+        assert trace.completed
+        assert trace.completion_round == res.total_rounds
+
+    def test_engine_layer_activation_rounds_match(self):
+        layout = pivot_layers(4, 3)
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout
+        )
+        trace = verify_with_engine(
+            make_round_robin_processes, layout, res
+        )
+        for k, layer in enumerate(layout.layers):
+            for node in layer:
+                assert trace.informed_round[node] == res.activation_rounds[k]
+
+
+class TestHardness:
+    def test_round_robin_pays_per_layer_worst_slot(self):
+        # Each layer costs round robin up to ~n rounds (the adversary
+        # places the last-scheduled uid at the pivot), so the total is
+        # superlinear in the number of nodes.
+        layout = pivot_layers(5, 5)  # n = 21
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout
+        )
+        assert res.completed
+        n = layout.graph.n
+        # Expect roughly (num_layers-1) * n-ish; definitely > 2n.
+        assert res.total_rounds > 2 * n
+
+    def test_cap_reported_as_incomplete(self):
+        layout = pivot_layers(4, 4)
+        res = theorem11_lower_bound(
+            make_round_robin_processes, layout=layout, max_rounds=3
+        )
+        assert not res.completed
+        assert res.total_rounds is None
+        assert res.normalized is None

@@ -1,0 +1,95 @@
+"""Tests for the Theorem 12 candidate-set construction."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    make_round_robin_processes,
+    make_strong_select_processes,
+)
+from repro.lowerbounds import (
+    ConstructionError,
+    theorem12_construction,
+)
+from repro.sim.process import SilentProcess
+
+
+class TestConstructionMechanics:
+    def test_requires_minimum_size(self):
+        with pytest.raises(ValueError):
+            theorem12_construction(make_round_robin_processes, 4)
+
+    def test_requires_full_uid_range(self):
+        with pytest.raises(ValueError):
+            theorem12_construction(
+                lambda n: [SilentProcess(uid=i + 1) for i in range(n)], 9
+            )
+
+    def test_silent_algorithm_rejected(self):
+        # An algorithm that never transmits can never isolate the source;
+        # the construction reports that as a failure to broadcast at all.
+        with pytest.raises(ConstructionError):
+            theorem12_construction(
+                lambda n: [SilentProcess(uid=i) for i in range(n)],
+                9,
+                stage_cap=50,
+            )
+
+    def test_stage_records_consistent(self):
+        res = theorem12_construction(make_round_robin_processes, 17)
+        assert res.total_rounds == res.preamble_rounds + sum(
+            s.total_rounds for s in res.stages
+        )
+        # Pairs are disjoint and never include the source.
+        seen = {0}
+        for s in res.stages:
+            assert len(set(s.pair)) == 2
+            assert not (set(s.pair) & seen)
+            seen.update(s.pair)
+
+    def test_informed_set_is_source_plus_pairs(self):
+        res = theorem12_construction(make_round_robin_processes, 17)
+        expected = {0}
+        for s in res.stages:
+            expected.update(s.pair)
+        assert res.informed == expected
+
+    def test_max_stages_respected(self):
+        res = theorem12_construction(
+            make_round_robin_processes, 17, max_stages=3
+        )
+        assert len(res.stages) == 3
+
+    def test_broadcast_never_completes_during_construction(self):
+        res = theorem12_construction(make_round_robin_processes, 17)
+        assert len(res.informed) < res.n
+
+
+class TestLowerBoundClaims:
+    @pytest.mark.parametrize("n", [9, 17, 33])
+    def test_round_robin_total_exceeds_paper_guarantee(self, n):
+        res = theorem12_construction(make_round_robin_processes, n)
+        assert res.total_rounds >= res.paper_total_guarantee
+
+    def test_strong_select_total_exceeds_paper_guarantee(self):
+        n = 17
+        res = theorem12_construction(
+            lambda m: make_strong_select_processes(m), n
+        )
+        assert res.total_rounds >= res.paper_total_guarantee
+
+    def test_early_stages_meet_log_guarantee_round_robin(self):
+        # Claim 13 ⇒ each of the first (n-1)/4 stages lasts at least
+        # log2(n-1) - 2 construction rounds.
+        n = 33
+        res = theorem12_construction(make_round_robin_processes, n)
+        assert res.min_early_stage_rounds is not None
+        assert res.min_early_stage_rounds >= math.log2(n - 1) - 2
+
+    def test_omega_n_log_n_scaling(self):
+        # Doubling n should grow the total by more than 2x (the n log n
+        # shape), at least for round robin where stages cost Θ(n).
+        small = theorem12_construction(make_round_robin_processes, 17)
+        large = theorem12_construction(make_round_robin_processes, 33)
+        assert large.total_rounds > 1.9 * small.total_rounds

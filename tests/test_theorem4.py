@@ -1,0 +1,69 @@
+"""Tests for the Monte-Carlo Theorem 4 experiment."""
+
+import pytest
+
+from repro.core import make_decay_processes, make_harmonic_processes
+from repro.lowerbounds import theorem4_experiment
+
+
+class TestExperimentMechanics:
+    def test_result_structure(self):
+        n = 8
+        res = theorem4_experiment(
+            lambda trial: make_harmonic_processes(n, T=2),
+            n,
+            trials=10,
+        )
+        assert set(res.informed_rounds) == set(range(1, n - 1))
+        assert all(len(v) == 10 for v in res.informed_rounds.values())
+
+    def test_probabilities_monotone_in_k(self):
+        n = 8
+        res = theorem4_experiment(
+            lambda trial: make_harmonic_processes(n, T=2),
+            n,
+            trials=20,
+        )
+        probs = [res.adversarial_success_probability(k) for k in range(1, n)]
+        assert probs == sorted(probs)
+
+    def test_envelope_values(self):
+        n = 10
+        res = theorem4_experiment(
+            lambda trial: make_harmonic_processes(n, T=2), n, trials=5
+        )
+        assert res.envelope(4) == pytest.approx(4 / 8)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            theorem4_experiment(
+                lambda trial: make_harmonic_processes(3, T=2), 3
+            )
+
+
+class TestTheoremBound:
+    @pytest.mark.parametrize(
+        "factory_name,factory",
+        [
+            ("harmonic", lambda n: lambda t: make_harmonic_processes(n, T=2)),
+            ("decay", lambda n: lambda t: make_decay_processes(n)),
+        ],
+    )
+    def test_success_probability_below_envelope(self, factory_name, factory):
+        # Theorem 4: within k rounds, success probability against the
+        # worst bridge placement is at most k/(n-2).  Monte-Carlo noise
+        # gets a modest slack allowance.
+        n = 10
+        res = theorem4_experiment(factory(n), n, trials=40)
+        ks = list(range(1, n - 2))
+        assert res.violations(ks, slack=0.25) == []
+
+    def test_harmonic_beats_k_rounds_eventually(self):
+        # Sanity check the experiment is not vacuous: for k near the cap,
+        # some executions do inform the receiver.
+        n = 8
+        res = theorem4_experiment(
+            lambda t: make_harmonic_processes(n, T=2), n, trials=40,
+            max_rounds=20 * n,
+        )
+        assert res.adversarial_success_probability(20 * n) > 0

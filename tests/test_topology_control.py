@@ -1,0 +1,88 @@
+"""Tests for the topology-control extension."""
+
+import pytest
+
+from repro import broadcast
+from repro.adversaries import GreedyInterferer
+from repro.extensions.topology_control import (
+    bfs_backbone,
+    contention_profile,
+    degree_bounded_backbone,
+)
+from repro.graphs import gnp_dual, line, star, with_complete_unreliable
+
+
+class TestBfsBackbone:
+    def test_is_spanning_tree(self):
+        g = gnp_dual(20, seed=1)
+        b = bfs_backbone(g)
+        # Undirected tree: 2(n-1) directed edges.
+        assert len(b.reliable_edges()) == 2 * (20 - 1)
+        assert all(b.distance_from_source(v) >= 0 for v in b.nodes)
+
+    def test_preserves_shortest_distances(self):
+        g = gnp_dual(20, seed=2)
+        b = bfs_backbone(g)
+        for v in g.nodes:
+            assert b.distance_from_source(v) == g.distance_from_source(v)
+
+    def test_keeps_adversary_edges(self):
+        g = gnp_dual(20, seed=3)
+        b = bfs_backbone(g)
+        assert g.all_edges() <= b.all_edges()
+
+    def test_broadcast_still_completes_on_backbone(self):
+        g = gnp_dual(16, seed=4)
+        b = bfs_backbone(g)
+        trace = broadcast(b, "strong_select",
+                          adversary=GreedyInterferer(), seed=1)
+        assert trace.completed
+
+
+class TestDegreeBoundedBackbone:
+    def test_spanning_and_degree_capped_on_sparse_graphs(self):
+        g = gnp_dual(20, p_reliable=0.3, seed=5)
+        b = degree_bounded_backbone(g, max_degree=4)
+        assert len(b.reliable_edges()) == 2 * (20 - 1)
+        profile = contention_profile(b)
+        # Greedy respects the cap when the graph allows it; a slack of
+        # +1 covers forced adoptions at cut nodes.
+        assert profile.max_reliable_degree <= 5
+
+    def test_star_cannot_be_degree_bounded(self):
+        # The hub must adopt everyone; the backbone degrades gracefully.
+        g = star(8)
+        b = degree_bounded_backbone(g, max_degree=2)
+        assert len(b.reliable_edges()) == 2 * (8 - 1)
+        assert contention_profile(b).max_reliable_degree == 7
+
+    def test_directed_rejected(self):
+        from repro.graphs import directed_layered
+
+        with pytest.raises(ValueError):
+            degree_bounded_backbone(directed_layered([1, 2]), 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            degree_bounded_backbone(line(5), 0)
+
+
+class TestContentionProfile:
+    def test_backbone_reduces_self_contention_not_adversarial(self):
+        g = with_complete_unreliable(
+            gnp_dual(16, p_reliable=0.4, p_unreliable=0.0, seed=6)
+        )
+        full = contention_profile(g)
+        b = contention_profile(bfs_backbone(g))
+        # Fewer reliable edges and degree after sparsification...
+        assert b.total_reliable_edges < full.total_reliable_edges
+        assert b.max_reliable_degree <= full.max_reliable_degree
+        # ...but the adversary's interference surface cannot shrink —
+        # thinning G grows G'\G (removed edges become unreliable).
+        assert b.adversarial_inroads >= full.adversarial_inroads
+
+    def test_profile_fields(self):
+        p = contention_profile(line(5))
+        assert p.eccentricity == 4
+        assert p.max_reliable_degree == 2
+        assert p.adversarial_inroads == 0

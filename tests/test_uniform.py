@@ -1,0 +1,56 @@
+"""Tests for the uniform (ALOHA-style) baseline."""
+
+import pytest
+
+from repro import broadcast
+from repro.analysis import summarize
+from repro.core.uniform import UniformProcess, make_uniform_processes
+from repro.graphs import clique, gnp_dual
+
+
+class TestUniformProcess:
+    def test_probability(self):
+        p = UniformProcess(0, c=2.0, n=8)
+        assert p.probability(8) == 0.25
+        assert UniformProcess(0, c=100, n=8).probability(8) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformProcess(0, c=0)
+
+    def test_silent_without_message(self):
+        import random
+        from repro.sim.process import ProcessContext
+
+        p = UniformProcess(1, n=4)
+        assert p.decide_send(ProcessContext(1, random.Random(0), 4)) is None
+
+
+class TestUniformBroadcast:
+    def test_registered_and_completes(self):
+        trace = broadcast(gnp_dual(16, seed=1), "uniform", seed=2)
+        assert trace.completed
+
+    def test_completes_on_clique(self):
+        trace = broadcast(clique(24), "uniform", seed=1)
+        assert trace.completed
+
+    def test_harmonic_dominates_uniform_on_cliques(self):
+        # The motivating comparison: Harmonic's decaying schedule reaches
+        # a lone transmission immediately (probability 1 at the start),
+        # while uniform 1/n waits Θ(n) rounds for its first transmission.
+        n = 48
+        uniform_rounds = []
+        harmonic_rounds = []
+        for seed in range(5):
+            u = broadcast(clique(n), "uniform", seed=seed)
+            h = broadcast(
+                clique(n), "harmonic", algorithm_params={"T": 4},
+                seed=seed,
+            )
+            assert u.completed and h.completed
+            uniform_rounds.append(u.completion_round)
+            harmonic_rounds.append(h.completion_round)
+        assert summarize(harmonic_rounds).mean < summarize(
+            uniform_rounds
+        ).mean

@@ -1,0 +1,182 @@
+"""Tests for the independent execution validator."""
+
+import pytest
+
+from repro.adversaries import (
+    FullDeliveryAdversary,
+    GreedyInterferer,
+    RandomDeliveryAdversary,
+)
+from repro.core import (
+    make_decay_processes,
+    make_harmonic_processes,
+    make_round_robin_processes,
+    make_strong_select_processes,
+)
+from repro.graphs import gnp_dual, line, with_complete_unreliable
+from repro.sim import (
+    BroadcastEngine,
+    CollisionRule,
+    EngineConfig,
+    StartMode,
+)
+from repro.sim.messages import COLLISION, Message, received
+from repro.sim.trace import RoundRecord
+from repro.sim.validation import validate_execution
+
+
+def run_recorded(
+    network,
+    processes,
+    adversary=None,
+    rule=CollisionRule.CR4,
+    start=StartMode.ASYNCHRONOUS,
+    seed=0,
+    max_rounds=20_000,
+):
+    config = EngineConfig(
+        collision_rule=rule,
+        start_mode=start,
+        seed=seed,
+        max_rounds=max_rounds,
+        record_receptions=True,
+    )
+    engine = BroadcastEngine(network, processes, adversary, config)
+    return engine.run()
+
+
+ALGOS = [
+    make_round_robin_processes,
+    make_strong_select_processes,
+    make_harmonic_processes,
+    make_decay_processes,
+]
+
+
+class TestEngineProducesValidExecutions:
+    @pytest.mark.parametrize("factory", ALGOS)
+    @pytest.mark.parametrize("rule", list(CollisionRule))
+    def test_random_duals(self, factory, rule):
+        g = gnp_dual(14, seed=3)
+        trace = run_recorded(
+            g, factory(14), GreedyInterferer(), rule=rule
+        )
+        assert validate_execution(trace, g, rule,
+                                  StartMode.ASYNCHRONOUS) == []
+
+    @pytest.mark.parametrize("start", list(StartMode))
+    def test_start_modes(self, start):
+        g = gnp_dual(12, seed=5)
+        trace = run_recorded(
+            g, make_round_robin_processes(12),
+            RandomDeliveryAdversary(0.5, seed=1), start=start,
+        )
+        assert validate_execution(
+            trace, g, CollisionRule.CR4, start
+        ) == []
+
+    def test_full_delivery_adversary(self):
+        g = with_complete_unreliable(line(8))
+        trace = run_recorded(
+            g, make_round_robin_processes(8), FullDeliveryAdversary()
+        )
+        assert validate_execution(
+            trace, g, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        ) == []
+
+
+class TestValidatorCatchesCorruption:
+    def _valid_trace(self):
+        g = gnp_dual(10, seed=2)
+        trace = run_recorded(
+            g, make_round_robin_processes(10), GreedyInterferer()
+        )
+        return g, trace
+
+    def test_missing_receptions_detected(self):
+        g, trace = self._valid_trace()
+        rec = trace.rounds[0]
+        trace.rounds[0] = RoundRecord(
+            rec.round_number, rec.senders, rec.unreliable_deliveries,
+            rec.newly_informed, rec.newly_active, receptions=None,
+        )
+        assert validate_execution(
+            trace, g, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        )
+
+    def test_phantom_sender_detected(self):
+        g, trace = self._valid_trace()
+        rec = trace.rounds[0]
+        senders = dict(rec.senders)
+        # Round 1 under async start: only the source may transmit.
+        phantom = Message("broadcast-message", 9, 1)
+        senders[9] = phantom
+        receptions = dict(rec.receptions)
+        receptions[9] = received(phantom)
+        trace.rounds[0] = RoundRecord(
+            rec.round_number, senders, rec.unreliable_deliveries,
+            rec.newly_informed, rec.newly_active, receptions,
+        )
+        out = validate_execution(
+            trace, g, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        )
+        assert any("sleeping node 9 transmitted" in v for v in out)
+
+    def test_wrong_reception_detected(self):
+        g, trace = self._valid_trace()
+        # Find a round with a lone arrival somewhere and corrupt it.
+        rec = trace.rounds[0]
+        receptions = dict(rec.receptions)
+        target = next(
+            v for v in g.nodes
+            if receptions[v].is_message and v not in rec.senders
+        )
+        receptions[target] = COLLISION
+        trace.rounds[0] = RoundRecord(
+            rec.round_number, rec.senders, rec.unreliable_deliveries,
+            rec.newly_informed, rec.newly_active, receptions,
+        )
+        out = validate_execution(
+            trace, g, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        )
+        assert out
+
+    def test_illegal_delivery_detected(self):
+        g, trace = self._valid_trace()
+        rec = trace.rounds[0]
+        sender = next(iter(rec.senders))
+        deliveries = dict(rec.unreliable_deliveries)
+        # Target a node on a reliable edge: illegal for the adversary.
+        reliable_target = next(iter(g.reliable_out(sender)))
+        deliveries[sender] = frozenset([reliable_target])
+        trace.rounds[0] = RoundRecord(
+            rec.round_number, rec.senders, deliveries,
+            rec.newly_informed, rec.newly_active, rec.receptions,
+        )
+        out = validate_execution(
+            trace, g, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        )
+        assert any("illegal unreliable targets" in v for v in out)
+
+    def test_false_completion_detected(self):
+        from repro.sim.trace import ExecutionTrace
+
+        g = gnp_dual(6, seed=0)
+        trace = ExecutionTrace(
+            network_name=g.name,
+            n=g.n,
+            proc={v: v for v in g.nodes},
+            informed_round={v: (0 if v == 0 else None) for v in g.nodes},
+            completed=True,
+        )
+        out = validate_execution(
+            trace, g, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        )
+        assert any("claims completion" in v for v in out)
+
+    def test_size_mismatch_detected(self):
+        g, trace = self._valid_trace()
+        other = gnp_dual(12, seed=1)
+        assert validate_execution(
+            trace, other, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        )
