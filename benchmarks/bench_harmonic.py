@@ -20,14 +20,34 @@ from repro.analysis import (
     busy_round_count,
     front_loaded_pattern,
     render_table,
-    summarize,
     wakeup_pattern_of,
 )
-from repro.core.harmonic import busy_round_bound, completion_bound, default_T
-from repro.graphs import clique_bridge, gnp_dual
+from repro.core.harmonic import busy_round_bound, completion_bound
+from repro.experiments import ExperimentSpec, SweepRunner
+from repro.graphs import clique_bridge
 
 NS = [8, 16, 32, 64]
 SEEDS = range(4)
+WORKERS = 2
+
+
+def paper_T(n: int) -> int:
+    """The paper's ``T = Θ(log n)`` with a laptop-sized constant."""
+    return max(1, math.ceil(2 * math.log(n)))
+
+
+#: One grid per size — ``T`` and the Theorem-18 round cap scale with n.
+COMPLETION_SPECS = [
+    ExperimentSpec(
+        name=f"harmonic-n{n}",
+        algorithms=[("harmonic", {"T": paper_T(n)})],
+        graphs=[("clique-bridge", n)],
+        adversaries=["greedy"],
+        seeds=SEEDS,
+        max_rounds=4 * completion_bound(n, paper_T(n)),
+    )
+    for n in NS
+]
 
 
 def harmonic_rounds(n: int, T: int, seed: int):
@@ -45,14 +65,12 @@ def harmonic_rounds(n: int, T: int, seed: int):
 
 
 def run_completion_experiment():
-    results = {}
-    for n in NS:
-        T = max(1, math.ceil(2 * math.log(n)))  # Θ(log n), scaled constant
-        rounds = [
-            harmonic_rounds(n, T, s).completion_round for s in SEEDS
-        ]
-        results[n] = (T, summarize(rounds))
-    return results
+    result = SweepRunner(COMPLETION_SPECS, workers=WORKERS).run()
+    assert not result.failures, [r.key for r in result.failures]
+    return {
+        n: (paper_T(n), group.summarize_completion())
+        for n, group in result.group_by("n").items()
+    }
 
 
 def test_harmonic_completion_bound(benchmark, table_out):

@@ -12,17 +12,35 @@ The separation factor (dual worst case / classical) must grow with n.
 """
 
 from repro import broadcast
-from repro.analysis import render_table, summarize
+from repro.analysis import render_table
 from repro.core import make_round_robin_processes
+from repro.experiments import ExperimentSpec, SweepRunner
 from repro.graphs import clique_bridge
 from repro.lowerbounds import theorem2_lower_bound
 from repro.sim import CollisionRule, StartMode
 
 NS = [9, 17, 33, 65]
 SEEDS = range(4)
+WORKERS = 2
+
+#: The randomized classical curve as a declarative grid: Decay on the
+#: clique-bridge classical projection, every (n, seed) cell in parallel.
+CLASSICAL_RAND = ExperimentSpec(
+    name="separation-classical-rand",
+    algorithms=["decay"],
+    graphs=[("clique-bridge-classical", n) for n in NS],
+    adversaries=["none"],
+    collision_rules=["CR3"],
+    seeds=SEEDS,
+    max_rounds=40_000,
+)
 
 
 def run_experiment():
+    sweep = SweepRunner(CLASSICAL_RAND, workers=WORKERS).run()
+    assert not sweep.failures, [r.key for r in sweep.failures]
+    classical_rand_by_n = sweep.summarize_by("n")
+
     rows = []
     factors = []
     for n in NS:
@@ -32,18 +50,7 @@ def run_experiment():
             collision_rule=CollisionRule.CR1,
             start_mode=StartMode.SYNCHRONOUS,
         ).completion_round
-        classical_rand = summarize(
-            [
-                broadcast(
-                    clique_bridge(n).graph.classical_projection(),
-                    "decay",
-                    seed=s,
-                    collision_rule=CollisionRule.CR3,
-                    max_rounds=40_000,
-                ).completion_round
-                for s in SEEDS
-            ]
-        ).mean
+        classical_rand = classical_rand_by_n[n].mean
         dual_det = theorem2_lower_bound(
             make_round_robin_processes, n
         ).worst_rounds

@@ -6,7 +6,8 @@ stand-in with the same constant-diameter polylog behaviour), while the
 dual graph model needs ``Ω(n)`` even on diameter-2 networks (Theorem 4)
 and Harmonic Broadcast achieves ``O(n log² n)`` (bold cell).
 
-Measured rows on constant-diameter networks:
+Measured rows on constant-diameter networks, both declared as
+:mod:`repro.experiments` grids and executed by one parallel sweep:
 
 * classical: Decay on the clique-bridge classical projection —
   polylogarithmic in ``n``;
@@ -14,56 +15,44 @@ Measured rows on constant-diameter networks:
   grows at least linearly (the Theorem 4 effect), within ``2nT·H(n)``.
 """
 
-from repro import broadcast
-from repro.adversaries import GreedyInterferer
-from repro.analysis import best_fit, render_table, summarize
+from repro.analysis import best_fit, render_table
 from repro.core.harmonic import completion_bound
-from repro.graphs import clique_bridge
-from repro.sim import CollisionRule
+from repro.experiments import ExperimentSpec, SweepRunner
 
 NS = [9, 17, 33, 65]
 SEEDS = range(5)
+WORKERS = 2
 HARMONIC_T = 4  # small plateau so the n-sweep stays laptop-sized; the
 # w.h.p. constant (12 ln(n/ε)) only scales rounds by a constant factor.
 
+CLASSICAL = ExperimentSpec(
+    name="table2-classical",
+    algorithms=["decay"],
+    graphs=[("clique-bridge-classical", n) for n in NS],
+    adversaries=["none"],
+    collision_rules=["CR3"],
+    seeds=SEEDS,
+    max_rounds=50_000,
+)
 
-def classical_decay_rounds(n: int, seed: int) -> int:
-    layout = clique_bridge(n)
-    trace = broadcast(
-        layout.graph.classical_projection(),
-        "decay",
-        seed=seed,
-        collision_rule=CollisionRule.CR3,
-        max_rounds=50_000,
-    )
-    assert trace.completed
-    return trace.completion_round
-
-
-def dual_harmonic_rounds(n: int, seed: int) -> int:
-    layout = clique_bridge(n)
-    trace = broadcast(
-        layout.graph,
-        "harmonic",
-        adversary=GreedyInterferer(),
-        algorithm_params={"T": HARMONIC_T},
-        seed=seed,
-        collision_rule=CollisionRule.CR4,
-        max_rounds=4 * completion_bound(n, HARMONIC_T),
-    )
-    assert trace.completed
-    return trace.completion_round
+DUAL = ExperimentSpec(
+    name="table2-dual",
+    algorithms=[("harmonic", {"T": HARMONIC_T})],
+    graphs=[("clique-bridge", n) for n in NS],
+    adversaries=["greedy"],
+    collision_rules=["CR4"],
+    seeds=SEEDS,
+    # One safe cap for the whole grid: the largest size's Theorem-18
+    # allowance (per-row tightness is asserted below, not enforced here).
+    max_rounds=4 * completion_bound(max(NS), HARMONIC_T),
+)
 
 
 def run_experiment():
-    classical = {
-        n: summarize([classical_decay_rounds(n, s) for s in SEEDS])
-        for n in NS
-    }
-    dual = {
-        n: summarize([dual_harmonic_rounds(n, s) for s in SEEDS])
-        for n in NS
-    }
+    result = SweepRunner([CLASSICAL, DUAL], workers=WORKERS).run()
+    assert not result.failures, [r.key for r in result.failures]
+    classical = result.filter(sweep="table2-classical").summarize_by("n")
+    dual = result.filter(sweep="table2-dual").summarize_by("n")
     return classical, dual
 
 
@@ -107,12 +96,9 @@ def test_table2_rows(benchmark, table_out):
 
 def test_table2_dual_growth_fit(benchmark, table_out):
     def sweep():
-        return [
-            summarize(
-                [dual_harmonic_rounds(n, s) for s in SEEDS]
-            ).mean
-            for n in NS
-        ]
+        result = SweepRunner(DUAL, workers=WORKERS).run()
+        summaries = result.summarize_by("n")
+        return [summaries[n].mean for n in NS]
 
     ts = benchmark.pedantic(sweep, rounds=1, iterations=1)
     fit = best_fit(NS, ts)

@@ -8,7 +8,6 @@ every deterministic algorithm, making Strong Select's ``O(n^{3/2}√log
 n)`` optimal up to ``O(√log n)`` on directed duals.
 """
 
-import math
 
 from repro.analysis import best_fit, render_table
 from repro.core import make_round_robin_processes

@@ -42,7 +42,29 @@ def emit(text: str) -> None:
         pass  # artifact writing must never fail a bench
 
 
+def emit_sweep(result, title: str) -> None:
+    """Render a :class:`repro.experiments.SweepResult` as a paper-style
+    table (one row per grid group) and emit it to the artifact."""
+    from repro.analysis import render_table
+    from repro.experiments import SweepResult
+
+    emit(
+        render_table(
+            SweepResult.TABLE_HEADER,
+            result.table_rows(),
+            title=f"{title} ({len(result)} runs, "
+            f"{result.failure_count} capped)",
+        )
+    )
+
+
 @pytest.fixture
 def table_out():
     """Fixture handing benches the emit helper."""
     return emit
+
+
+@pytest.fixture
+def sweep_table_out():
+    """Fixture handing benches the sweep-result emit helper."""
+    return emit_sweep

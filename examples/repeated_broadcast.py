@@ -26,7 +26,7 @@ from repro.adversaries import (
     NoDeliveryAdversary,
     RandomDeliveryAdversary,
 )
-from repro.analysis import render_table, summarize
+from repro.analysis import render_table
 from repro.extensions import LinkQualityEstimator, RepeatedBroadcastSession
 from repro.graphs import gnp_dual
 

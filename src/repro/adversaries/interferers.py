@@ -17,7 +17,7 @@ These adversaries actively try to slow broadcast down:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.adversaries.base import Adversary, AdversaryView
 from repro.graphs.constructions import PivotLayersLayout

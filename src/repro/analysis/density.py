@@ -17,7 +17,7 @@ and extract busy/free structure from real traces.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.harmonic import harmonic_number, sending_probability
 from repro.sim.trace import ExecutionTrace

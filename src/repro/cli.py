@@ -5,93 +5,60 @@ Usage (module form)::
     python -m repro run --graph gnp --n 64 --algorithm harmonic \
         --adversary greedy --seed 7
     python -m repro sweep --graph clique-bridge --algorithm strong_select \
-        --sizes 16,32,64 --seeds 0,1,2
+        --sizes 16,32,64 --seeds 0,1,2 --workers 4
+    python -m repro sweep --spec examples/specs/tiny_sweep.json \
+        --workers 4 --results results/tiny.jsonl
     python -m repro lowerbound --theorem 2 --n 32
     python -m repro lowerbound --theorem 12 --n 33 --algorithm round_robin
 
 Everything the CLI can do is a thin layer over the library API; the CLI
-exists so experiments are reproducible from shell history alone.
+exists so experiments are reproducible from shell history alone.  Sweeps
+go through :mod:`repro.experiments`: they fan out over worker processes,
+and with ``--results`` they persist each run as a JSON line and resume
+by key after an interruption.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.adversaries import (
-    FullDeliveryAdversary,
-    GreedyInterferer,
-    NoDeliveryAdversary,
-    RandomDeliveryAdversary,
-)
-from repro.analysis import best_fit, render_table, summarize
-from repro.core.runner import algorithm_names, broadcast, make_processes
-from repro.graphs import (
-    clique_bridge,
-    gnp_dual,
-    gray_zone,
-    grid,
-    layered_pairs,
-    line,
-    pivot_layers_for_n,
-    ring,
-    with_complete_unreliable,
+from repro.analysis import best_fit, render_table
+from repro.core.runner import algorithm_names, broadcast
+from repro.experiments import (
+    ExperimentSpec,
+    SweepResult,
+    SweepRunner,
+    adversary_kinds,
+    build_adversary,
+    build_graph,
+    graph_kinds,
+    load_specs,
 )
 
-GRAPHS = {
-    "gnp": lambda n, seed: gnp_dual(n, seed=seed),
-    "line": lambda n, seed: line(n),
-    "hard-line": lambda n, seed: with_complete_unreliable(line(n)),
-    "ring": lambda n, seed: ring(max(3, n)),
-    "grid": lambda n, seed: grid(max(2, int(n**0.5)),
-                                 max(2, int(n**0.5))),
-    "gray-zone": lambda n, seed: gray_zone(n, seed=seed)[0],
-    "clique-bridge": lambda n, seed: clique_bridge(max(3, n)).graph,
-    "layered-pairs": lambda n, seed: layered_pairs(
-        n if n % 2 else n + 1
-    ).graph,
-    "pivot-layers": lambda n, seed: pivot_layers_for_n(n).graph,
-}
 
-ADVERSARIES = {
-    "none": lambda args: NoDeliveryAdversary(),
-    "full": lambda args: FullDeliveryAdversary(),
-    "random": lambda args: RandomDeliveryAdversary(
-        args.p, seed=args.seed
-    ),
-    "greedy": lambda args: GreedyInterferer(),
-}
-
-
-def _build_graph(name: str, n: int, seed: int):
+def _build_graph_or_exit(name: str, n: int, seed: int):
     try:
-        factory = GRAPHS[name]
-    except KeyError:
-        raise SystemExit(
-            f"unknown graph {name!r}; choose from {sorted(GRAPHS)}"
-        )
-    return factory(n, seed)
+        return build_graph(name, n, seed=seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
-def _build_adversary(args):
+def _build_adversary_or_exit(args):
+    params = {"p": args.p} if args.adversary == "random" else {}
     try:
-        factory = ADVERSARIES[args.adversary]
-    except KeyError:
-        raise SystemExit(
-            f"unknown adversary {args.adversary!r}; "
-            f"choose from {sorted(ADVERSARIES)}"
-        )
-    return factory(args)
+        return build_adversary(args.adversary, seed=args.seed, **params)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_run(args) -> int:
-    graph = _build_graph(args.graph, args.n, args.seed)
+    graph = _build_graph_or_exit(args.graph, args.n, args.seed)
     trace = broadcast(
         graph,
         args.algorithm,
-        adversary=_build_adversary(args),
+        adversary=_build_adversary_or_exit(args),
         seed=args.seed,
         max_rounds=args.max_rounds,
     )
@@ -108,46 +75,82 @@ def cmd_run(args) -> int:
     return 0 if trace.completed else 1
 
 
-def cmd_sweep(args) -> int:
-    sizes = [int(s) for s in args.sizes.split(",")]
-    seeds = [int(s) for s in args.seeds.split(",")]
-    rows = []
-    means = []
-    for n in sizes:
-        rounds: List[int] = []
-        for seed in seeds:
-            graph = _build_graph(args.graph, n, seed)
-            trace = broadcast(
-                graph,
-                args.algorithm,
-                adversary=_build_adversary(args),
-                seed=seed,
-                max_rounds=args.max_rounds,
-            )
-            if not trace.completed:
-                print(
-                    f"warning: n={n} seed={seed} hit the round cap",
-                    file=sys.stderr,
-                )
+def _legacy_spec(args) -> ExperimentSpec:
+    """Build a one-spec grid from the sweep subcommand's inline flags."""
+    if args.graph not in graph_kinds():
+        raise SystemExit(
+            f"unknown graph {args.graph!r}; choose from {graph_kinds()}"
+        )
+    if args.adversary not in adversary_kinds():
+        raise SystemExit(
+            f"unknown adversary {args.adversary!r}; "
+            f"choose from {adversary_kinds()}"
+        )
+    params = {"p": args.p} if args.adversary == "random" else {}
+    return ExperimentSpec(
+        name=f"{args.algorithm}-{args.graph}",
+        algorithms=[args.algorithm],
+        graphs=[
+            (args.graph, int(s)) for s in args.sizes.split(",")
+        ],
+        adversaries=[(args.adversary, params)],
+        seeds=[int(s) for s in args.seeds.split(",")],
+        max_rounds=args.max_rounds,
+    )
+
+
+def _print_growth_fits(result: SweepResult) -> None:
+    """Fit completion-round growth per (sweep, algorithm) curve."""
+    for sweep, by_sweep in result.group_by("sweep").items():
+        for alg, group in by_sweep.group_by("algorithm").items():
+            summaries = group.summarize_by("n")
+            if len(summaries) < 2:
                 continue
-            rounds.append(trace.completion_round)
-        summary = summarize(rounds) if rounds else None
-        means.append(summary.mean if summary else float("nan"))
-        rows.append([n, summary.format() if summary else "—"])
+            sizes = sorted(summaries)
+            means = [summaries[n].mean for n in sizes]
+            fit = best_fit(sizes, means)
+            print(f"growth fit [{sweep}/{alg}]: {fit.format()}")
+
+
+def cmd_sweep(args) -> int:
+    if args.spec:
+        try:
+            specs = load_specs(args.spec)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"cannot load spec {args.spec!r}: {exc}")
+        title = f"sweep spec {args.spec}"
+    else:
+        specs = [_legacy_spec(args)]
+        title = (
+            f"{args.algorithm} on {args.graph}, adversary="
+            f"{args.adversary}, seeds={[int(s) for s in args.seeds.split(',')]}"
+        )
+
+    try:
+        runner = SweepRunner(
+            specs, workers=args.workers, results_path=args.results
+        )
+        result = runner.run()
+    except ValueError as exc:
+        # Bad worker counts, unknown graph/adversary kinds, duplicate
+        # task keys: user input problems, not crashes.
+        raise SystemExit(str(exc))
+
+    for record in result.failures:
+        print(
+            f"warning: {record.key} hit the round cap", file=sys.stderr
+        )
     print(
         render_table(
-            ["n", "completion rounds"],
-            rows,
-            title=(
-                f"{args.algorithm} on {args.graph}, adversary="
-                f"{args.adversary}, seeds={seeds}"
-            ),
+            SweepResult.TABLE_HEADER,
+            result.table_rows(),
+            title=f"{title} ({result.executed} run, "
+            f"{result.resumed} resumed, {result.elapsed:.1f}s, "
+            f"workers={args.workers})",
         )
     )
-    if len(sizes) >= 2 and all(m == m for m in means):
-        fit = best_fit(sizes, means)
-        print(f"growth fit: {fit.format()}")
-    return 0
+    _print_growth_fits(result)
+    return 0 if not result.failures else 1
 
 
 def cmd_lowerbound(args) -> int:
@@ -235,14 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one broadcast")
-    run.add_argument("--graph", default="gnp", help=f"{sorted(GRAPHS)}")
+    run.add_argument("--graph", default="gnp", help=f"{graph_kinds()}")
     run.add_argument("--n", type=int, default=32)
     run.add_argument(
         "--algorithm", default="strong_select",
         help=f"{algorithm_names()}"
     )
     run.add_argument(
-        "--adversary", default="greedy", help=f"{sorted(ADVERSARIES)}"
+        "--adversary", default="greedy", help=f"{adversary_kinds()}"
     )
     run.add_argument("--p", type=float, default=0.5,
                      help="delivery probability for --adversary random")
@@ -251,7 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true")
     run.set_defaults(func=cmd_run)
 
-    sweep = sub.add_parser("sweep", help="sweep n and fit the growth")
+    sweep = sub.add_parser(
+        "sweep", help="run an experiment grid (optionally in parallel)"
+    )
+    sweep.add_argument(
+        "--spec", default=None,
+        help="JSON spec file (one spec object or a list); overrides the "
+        "inline grid flags below",
+    )
     sweep.add_argument("--graph", default="gnp")
     sweep.add_argument("--algorithm", default="strong_select")
     sweep.add_argument("--adversary", default="greedy")
@@ -260,6 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", default="0,1,2")
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--max-rounds", type=int, default=None)
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (default 1: in-process)",
+    )
+    sweep.add_argument(
+        "--results", default=None,
+        help="JSON-lines results file; existing records are resumed "
+        "rather than re-run",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     lb = sub.add_parser(

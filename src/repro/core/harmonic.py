@@ -22,7 +22,7 @@ and starts transmitting in round 1, matching the paper's convention.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.sim.messages import Message
 from repro.sim.process import Process, ProcessContext

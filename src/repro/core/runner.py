@@ -17,7 +17,7 @@ directly for callers that need to customise processes before running.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.adversaries.base import Adversary
 from repro.core.decay import make_decay_processes

@@ -29,8 +29,8 @@ from __future__ import annotations
 import itertools
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)

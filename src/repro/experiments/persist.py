@@ -1,0 +1,65 @@
+"""JSON-lines persistence for sweep results.
+
+One line per :class:`~repro.experiments.results.RunResult`, appended as
+each task finishes, so an interrupted sweep leaves a valid prefix on
+disk.  :func:`load_records` tolerates a torn final line (the signature
+of a hard kill mid-write) by skipping anything that does not parse —
+resuming then re-runs exactly the tasks whose records are missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, TextIO
+
+from repro.experiments.results import RunResult
+
+
+def load_records(path: str) -> Dict[str, RunResult]:
+    """Read a results file into a ``key → RunResult`` map.
+
+    Missing files yield an empty map; unparsable or incomplete lines are
+    skipped (an interrupted run's final line may be torn).  When a key
+    appears twice the later record wins.
+    """
+    records: Dict[str, RunResult] = {}
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = RunResult.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                continue  # torn or foreign line — re-run that task
+            records[record.key] = record
+    return records
+
+
+def open_for_append(path: str) -> TextIO:
+    """Open a results file for appending, creating parent directories.
+
+    If the file ends mid-line (a previous run was killed mid-write), a
+    newline is inserted first so the next record does not concatenate
+    onto the torn line and get lost with it.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    torn_tail = False
+    if os.path.exists(path) and os.path.getsize(path) > 0:
+        with open(path, "rb") as existing:
+            existing.seek(-1, os.SEEK_END)
+            torn_tail = existing.read(1) != b"\n"
+    f = open(path, "a", encoding="utf-8")
+    if torn_tail:
+        f.write("\n")
+    return f
+
+
+def append_record(f: TextIO, record: RunResult) -> None:
+    """Write one record as a JSON line and flush it to disk."""
+    f.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    f.flush()

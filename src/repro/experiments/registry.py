@@ -1,0 +1,119 @@
+"""Name-based factories for the pieces of a sweep grid.
+
+Sweep tasks cross process boundaries (``multiprocessing`` workers), so an
+:class:`~repro.experiments.spec.ExperimentSpec` cannot hold live graph or
+adversary objects — it names them.  Workers resolve the names through the
+registries below, which therefore define the vocabulary of spec files.
+
+Graph factories take ``(n, seed, **params)`` and return a
+:class:`~repro.graphs.dualgraph.DualGraph`; adversary factories take
+``(seed, **params)`` and return an
+:class:`~repro.adversaries.base.Adversary`.  Both registries are
+extensible via :func:`register_graph` / :func:`register_adversary`.
+Runtime registrations reach sweep workers on platforms with the
+``fork`` start method (Linux, which the runner prefers); on
+spawn-only platforms (Windows) workers re-import this module, so
+custom kinds must be registered at import time of a module the
+workers also import — or run with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.adversaries import (
+    Adversary,
+    FullDeliveryAdversary,
+    GreedyInterferer,
+    NoDeliveryAdversary,
+    RandomDeliveryAdversary,
+)
+from repro.graphs import (
+    clique_bridge,
+    gnp_dual,
+    gray_zone,
+    grid,
+    layered_pairs,
+    line,
+    pivot_layers_for_n,
+    ring,
+    with_complete_unreliable,
+)
+from repro.graphs.dualgraph import DualGraph
+
+GraphFactory = Callable[..., DualGraph]
+AdversaryFactory = Callable[..., Adversary]
+
+_GRAPHS: Dict[str, GraphFactory] = {
+    "gnp": lambda n, seed, **kw: gnp_dual(n, seed=seed, **kw),
+    "line": lambda n, seed, **kw: line(n),
+    "hard-line": lambda n, seed, **kw: with_complete_unreliable(line(n)),
+    "ring": lambda n, seed, **kw: ring(max(3, n)),
+    "grid": lambda n, seed, **kw: grid(
+        max(2, int(n**0.5)), max(2, int(n**0.5))
+    ),
+    "gray-zone": lambda n, seed, **kw: gray_zone(n, seed=seed, **kw)[0],
+    "clique-bridge": lambda n, seed, **kw: clique_bridge(max(3, n)).graph,
+    "clique-bridge-classical": lambda n, seed, **kw: clique_bridge(
+        max(3, n)
+    ).graph.classical_projection(),
+    "layered-pairs": lambda n, seed, **kw: layered_pairs(
+        n if n % 2 else n + 1
+    ).graph,
+    "pivot-layers": lambda n, seed, **kw: pivot_layers_for_n(n).graph,
+}
+
+_ADVERSARIES: Dict[str, AdversaryFactory] = {
+    "none": lambda seed, **kw: NoDeliveryAdversary(),
+    "full": lambda seed, **kw: FullDeliveryAdversary(),
+    "random": lambda seed, p=0.5, **kw: RandomDeliveryAdversary(
+        p, seed=seed
+    ),
+    "greedy": lambda seed, **kw: GreedyInterferer(),
+}
+
+
+def graph_kinds() -> List[str]:
+    """The registered graph-kind names."""
+    return sorted(_GRAPHS)
+
+
+def adversary_kinds() -> List[str]:
+    """The registered adversary-kind names."""
+    return sorted(_ADVERSARIES)
+
+
+def register_graph(kind: str, factory: GraphFactory) -> None:
+    """Register a graph factory ``factory(n, seed, **params)``."""
+    if kind in _GRAPHS:
+        raise ValueError(f"graph kind {kind!r} already registered")
+    _GRAPHS[kind] = factory
+
+
+def register_adversary(kind: str, factory: AdversaryFactory) -> None:
+    """Register an adversary factory ``factory(seed, **params)``."""
+    if kind in _ADVERSARIES:
+        raise ValueError(f"adversary kind {kind!r} already registered")
+    _ADVERSARIES[kind] = factory
+
+
+def build_graph(kind: str, n: int, seed: int = 0, **params) -> DualGraph:
+    """Instantiate a registered graph kind."""
+    try:
+        factory = _GRAPHS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph kind {kind!r}; known: {graph_kinds()}"
+        ) from None
+    return factory(n, seed, **params)
+
+
+def build_adversary(kind: str, seed: int = 0, **params) -> Adversary:
+    """Instantiate a registered adversary kind."""
+    try:
+        factory = _ADVERSARIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown adversary kind {kind!r}; known: {adversary_kinds()}"
+        ) from None
+    return factory(seed, **params)

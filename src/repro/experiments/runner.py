@@ -1,0 +1,202 @@
+"""The sweep executor: fan a task grid out over worker processes.
+
+:func:`execute_task` is the per-task unit of work — a module-level
+function taking and returning picklable values, so a ``multiprocessing``
+pool can run it anywhere.  :class:`SweepRunner` expands one or more
+:class:`~repro.experiments.spec.ExperimentSpec`\\ s, skips tasks whose
+records already sit in the results file (resume-by-key), and streams the
+remaining tasks through ``imap_unordered`` with a derived chunk size so
+per-task IPC overhead stays low on large grids.
+
+Determinism: each task's engine seed is derived from its key, and the
+final record list is key-sorted, so the same spec produces the identical
+:class:`~repro.experiments.results.SweepResult` records for any worker
+count, chunking, or resume history.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.runner import make_processes, suggested_round_limit
+from repro.experiments.persist import (
+    append_record,
+    load_records,
+    open_for_append,
+)
+from repro.experiments.registry import build_adversary, build_graph
+from repro.experiments.results import RunResult, SweepResult
+from repro.experiments.spec import ExperimentSpec, RunTask
+from repro.sim.collision import CollisionRule
+from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode
+
+#: Called after each finished task with (result, done_count, total).
+ProgressCallback = Callable[[RunResult, int, int], None]
+
+
+def execute_task(task: RunTask) -> RunResult:
+    """Run one grid cell and return its deterministic record."""
+    graph = build_graph(
+        task.graph_kind, task.n, seed=task.seed, **dict(task.graph_params)
+    )
+    adversary = build_adversary(
+        task.adversary_kind,
+        seed=task.derived_seed,
+        **dict(task.adversary_params),
+    )
+    processes = make_processes(
+        task.algorithm, graph.n, **dict(task.algorithm_params)
+    )
+    max_rounds = task.max_rounds
+    if max_rounds is None:
+        max_rounds = suggested_round_limit(task.algorithm, graph)
+    config = EngineConfig(
+        collision_rule=CollisionRule[task.collision_rule],
+        start_mode=StartMode(task.start_mode),
+        max_rounds=max_rounds,
+        seed=task.derived_seed,
+    )
+    engine = BroadcastEngine(graph, processes, adversary, config)
+    trace = engine.run()
+    return RunResult(
+        key=task.key,
+        sweep=task.sweep,
+        algorithm=task.algorithm,
+        graph_kind=task.graph_kind,
+        n=task.n,
+        graph_n=graph.n,
+        adversary_kind=task.adversary_kind,
+        collision_rule=task.collision_rule,
+        start_mode=task.start_mode,
+        seed=task.seed,
+        completed=trace.completed,
+        completion_round=trace.completion_round,
+        rounds=trace.num_rounds,
+        total_transmissions=sum(trace.sender_counts()),
+    )
+
+
+class SweepRunner:
+    """Run one or several specs as a single fanned-out sweep.
+
+    Args:
+        specs: One :class:`ExperimentSpec` or a sequence of them (their
+            task keys must be disjoint; spec names namespace the keys).
+        workers: Worker process count.  ``1`` runs in-process (no pool),
+            which is also the fallback when only one task is pending.
+        results_path: Optional JSON-lines file.  Existing records are
+            loaded and their tasks skipped; new records are appended as
+            they finish, so interrupting and re-running resumes where
+            the sweep stopped.
+        chunksize: Tasks per worker dispatch (default: derived so each
+            worker sees several chunks, balancing IPC overhead against
+            stragglers).
+    """
+
+    def __init__(
+        self,
+        specs: Union[ExperimentSpec, Sequence[ExperimentSpec]],
+        workers: int = 1,
+        results_path: Optional[str] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        if isinstance(specs, ExperimentSpec):
+            specs = [specs]
+        self.specs: List[ExperimentSpec] = list(specs)
+        if not self.specs:
+            raise ValueError("need at least one spec")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.results_path = results_path
+        self.chunksize = chunksize
+
+    def tasks(self) -> List[RunTask]:
+        """The combined, ordered task list of all specs."""
+        out: List[RunTask] = []
+        seen: Dict[str, str] = {}
+        for spec in self.specs:
+            for task in spec.tasks():
+                if task.key in seen:
+                    raise ValueError(
+                        f"duplicate task key {task.key!r} "
+                        f"(specs {seen[task.key]!r} and {spec.name!r})"
+                    )
+                seen[task.key] = spec.name
+                out.append(task)
+        return out
+
+    def run(
+        self, progress: Optional[ProgressCallback] = None
+    ) -> SweepResult:
+        """Execute all pending tasks and return the aggregated result."""
+        started = time.perf_counter()
+        tasks = self.tasks()
+        done: Dict[str, RunResult] = {}
+        if self.results_path:
+            on_disk = load_records(self.results_path)
+            done = {
+                t.key: on_disk[t.key] for t in tasks if t.key in on_disk
+            }
+        pending = [t for t in tasks if t.key not in done]
+
+        sink = (
+            open_for_append(self.results_path)
+            if self.results_path and pending
+            else None
+        )
+        records = dict(done)
+        total = len(tasks)
+        try:
+            for result in self._execute(pending):
+                records[result.key] = result
+                if sink is not None:
+                    append_record(sink, result)
+                if progress is not None:
+                    progress(result, len(records), total)
+        finally:
+            if sink is not None:
+                sink.close()
+
+        return SweepResult(
+            records=list(records.values()),
+            executed=len(pending),
+            resumed=len(done),
+            elapsed=time.perf_counter() - started,
+        )
+
+    def _execute(self, pending: Sequence[RunTask]):
+        if self.workers == 1 or len(pending) <= 1:
+            for task in pending:
+                yield execute_task(task)
+            return
+        chunksize = self.chunksize
+        if chunksize is None:
+            # Aim for ~8 chunks per worker: large enough to amortise
+            # pickling, small enough to keep stragglers short.
+            chunksize = max(1, len(pending) // (self.workers * 8))
+        # Prefer fork so runtime register_graph/register_adversary
+        # entries reach the workers; spawn platforms (macOS, Windows)
+        # re-import the registries and only see module-level entries.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ctx.Pool(self.workers) as pool:
+            yield from pool.imap_unordered(
+                execute_task, pending, chunksize=chunksize
+            )
+
+
+def run_sweep(
+    specs: Union[ExperimentSpec, Sequence[ExperimentSpec]],
+    workers: int = 1,
+    results_path: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(
+        specs, workers=workers, results_path=results_path
+    ).run(progress=progress)

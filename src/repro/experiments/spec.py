@@ -1,0 +1,389 @@
+"""Declarative experiment grids.
+
+An :class:`ExperimentSpec` names every axis of a sweep — algorithms,
+graph families with sizes, adversaries, collision rules, start modes and
+seeds — and expands to the cross product as a deterministic, ordered list
+of :class:`RunTask`\\ s.  Tasks are frozen tuples of primitives, so they
+
+* pickle cheaply across ``multiprocessing`` workers,
+* carry a stable human-readable ``key`` used for resume-by-key
+  persistence and for the determinism guarantee (the same spec always
+  yields the same keys in the same order), and
+* derive a per-task engine seed from that key, so no two grid cells
+  accidentally share an RNG stream even when they share a sweep seed.
+
+Specs serialise to/from JSON (``to_dict`` / ``from_dict`` /
+:func:`load_specs`) so sweeps are reproducible from a committed file and
+shell history alone.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.sim.collision import CollisionRule
+from repro.sim.engine import StartMode
+
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_params(params: Optional[Union[dict, Params]]) -> Params:
+    if not params:
+        return ()
+    if isinstance(params, tuple):
+        return params
+    return tuple(sorted(params.items()))
+
+
+def _fmt_params(params: Params) -> str:
+    if not params:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in params)
+    return f"({inner})"
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One algorithm axis entry: a registered name plus factory params."""
+
+    name: str
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}{_fmt_params(self.params)}"
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One graph axis entry: a registered kind, a size and params."""
+
+    kind: str
+    n: int
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:n{self.n}{_fmt_params(self.params)}"
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One adversary axis entry: a registered kind plus params."""
+
+    kind: str = "none"
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}{_fmt_params(self.params)}"
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One fully-specified execution: a single cell of the sweep grid.
+
+    Everything is a primitive (or tuple of primitives), so tasks pickle
+    across process boundaries without dragging live objects along.
+    """
+
+    sweep: str
+    algorithm: str
+    algorithm_params: Params
+    graph_kind: str
+    n: int
+    graph_params: Params
+    adversary_kind: str
+    adversary_params: Params
+    collision_rule: str
+    start_mode: str
+    seed: int
+    max_rounds: Optional[int] = None
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used for persistence and resume.
+
+        Every input that can change the outcome is part of the key —
+        including an explicit round cap, so editing ``max_rounds`` in a
+        spec invalidates old records instead of silently resuming them.
+        """
+        parts = [
+            self.sweep,
+            f"{self.algorithm}{_fmt_params(self.algorithm_params)}",
+            f"{self.graph_kind}:n{self.n}"
+            f"{_fmt_params(self.graph_params)}",
+            f"{self.adversary_kind}"
+            f"{_fmt_params(self.adversary_params)}",
+            f"{self.collision_rule}-{self.start_mode}",
+            f"s{self.seed}",
+        ]
+        if self.max_rounds is not None:
+            parts.append(f"cap{self.max_rounds}")
+        return "/".join(parts)
+
+    @property
+    def derived_seed(self) -> int:
+        """Engine seed derived from the task key.
+
+        ``zlib.crc32`` is stable across processes and Python versions
+        (unlike ``hash``), so the derivation is reproducible no matter
+        how the grid is partitioned over workers.
+        """
+        return zlib.crc32(self.key.encode("utf-8"))
+
+
+def _coerce_algorithm(entry) -> AlgorithmSpec:
+    if isinstance(entry, AlgorithmSpec):
+        return entry
+    if isinstance(entry, str):
+        return AlgorithmSpec(entry)
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        return AlgorithmSpec(entry[0], _freeze_params(entry[1]))
+    if isinstance(entry, dict):
+        return AlgorithmSpec(
+            entry["name"], _freeze_params(entry.get("params"))
+        )
+    raise TypeError(f"cannot interpret algorithm entry {entry!r}")
+
+
+def _coerce_graph(entry) -> List[GraphSpec]:
+    if isinstance(entry, GraphSpec):
+        return [entry]
+    if isinstance(entry, (tuple, list)) and len(entry) in (2, 3):
+        kind, n = entry[0], entry[1]
+        params = _freeze_params(entry[2] if len(entry) == 3 else None)
+        return [GraphSpec(kind, int(n), params)]
+    if isinstance(entry, dict):
+        params = _freeze_params(entry.get("params"))
+        sizes = entry.get("sizes", [entry["n"]] if "n" in entry else None)
+        if sizes is None:
+            raise ValueError(
+                f"graph entry {entry!r} needs 'n' or 'sizes'"
+            )
+        return [GraphSpec(entry["kind"], int(n), params) for n in sizes]
+    raise TypeError(f"cannot interpret graph entry {entry!r}")
+
+
+def _coerce_adversary(entry) -> AdversarySpec:
+    if isinstance(entry, AdversarySpec):
+        return entry
+    if isinstance(entry, str):
+        return AdversarySpec(entry)
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        return AdversarySpec(entry[0], _freeze_params(entry[1]))
+    if isinstance(entry, dict):
+        return AdversarySpec(
+            entry["kind"], _freeze_params(entry.get("params"))
+        )
+    raise TypeError(f"cannot interpret adversary entry {entry!r}")
+
+
+def _coerce_rule(entry) -> str:
+    if isinstance(entry, CollisionRule):
+        return entry.name
+    name = str(entry).upper()
+    if name not in CollisionRule.__members__:
+        raise ValueError(
+            f"unknown collision rule {entry!r}; "
+            f"known: {list(CollisionRule.__members__)}"
+        )
+    return name
+
+
+def _coerce_mode(entry) -> str:
+    if isinstance(entry, StartMode):
+        return entry.value
+    value = str(entry).lower()
+    StartMode(value)  # raises ValueError on unknown modes
+    return value
+
+
+def _coerce_seeds(entry) -> Tuple[int, ...]:
+    if isinstance(entry, dict):
+        start = int(entry.get("start", 0))
+        count = int(entry["count"])
+        return tuple(range(start, start + count))
+    if isinstance(entry, int):
+        return (entry,)
+    return tuple(int(s) for s in entry)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative sweep grid.
+
+    The task list is the cross product
+    ``algorithms × graphs × adversaries × collision_rules × start_modes
+    × seeds`` in that (deterministic) nesting order.
+
+    Axis entries accept light-weight shorthands::
+
+        ExperimentSpec(
+            name="demo",
+            algorithms=["round_robin", ("harmonic", {"T": 4})],
+            graphs=[("clique-bridge", n) for n in (9, 17, 33)],
+            adversaries=["greedy"],
+            seeds=range(5),
+        )
+
+    ``max_rounds=None`` lets each task fall back to the algorithm's
+    proven-bound limit (:func:`repro.core.runner.suggested_round_limit`).
+    """
+
+    name: str
+    algorithms: Tuple[AlgorithmSpec, ...]
+    graphs: Tuple[GraphSpec, ...]
+    adversaries: Tuple[AdversarySpec, ...] = (AdversarySpec("none"),)
+    collision_rules: Tuple[str, ...] = ("CR4",)
+    start_modes: Tuple[str, ...] = ("asynchronous",)
+    seeds: Tuple[int, ...] = (0,)
+    max_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "algorithms",
+            tuple(_coerce_algorithm(a) for a in self.algorithms),
+        )
+        graphs: List[GraphSpec] = []
+        for entry in self.graphs:
+            graphs.extend(_coerce_graph(entry))
+        object.__setattr__(self, "graphs", tuple(graphs))
+        object.__setattr__(
+            self,
+            "adversaries",
+            tuple(_coerce_adversary(a) for a in self.adversaries),
+        )
+        object.__setattr__(
+            self,
+            "collision_rules",
+            tuple(_coerce_rule(r) for r in self.collision_rules),
+        )
+        object.__setattr__(
+            self,
+            "start_modes",
+            tuple(_coerce_mode(m) for m in self.start_modes),
+        )
+        object.__setattr__(self, "seeds", _coerce_seeds(self.seeds))
+        if not (self.algorithms and self.graphs and self.seeds):
+            raise ValueError(
+                "spec needs at least one algorithm, graph and seed"
+            )
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of tasks the grid expands to."""
+        return (
+            len(self.algorithms)
+            * len(self.graphs)
+            * len(self.adversaries)
+            * len(self.collision_rules)
+            * len(self.start_modes)
+            * len(self.seeds)
+        )
+
+    def tasks(self) -> List[RunTask]:
+        """Expand the grid to its ordered task list."""
+        out: List[RunTask] = []
+        for alg in self.algorithms:
+            for graph in self.graphs:
+                for adv in self.adversaries:
+                    for rule in self.collision_rules:
+                        for mode in self.start_modes:
+                            for seed in self.seeds:
+                                out.append(
+                                    RunTask(
+                                        sweep=self.name,
+                                        algorithm=alg.name,
+                                        algorithm_params=alg.params,
+                                        graph_kind=graph.kind,
+                                        n=graph.n,
+                                        graph_params=graph.params,
+                                        adversary_kind=adv.kind,
+                                        adversary_params=adv.params,
+                                        collision_rule=rule,
+                                        start_mode=mode,
+                                        seed=seed,
+                                        max_rounds=self.max_rounds,
+                                    )
+                                )
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "algorithms": [
+                {"name": a.name, "params": dict(a.params)}
+                for a in self.algorithms
+            ],
+            "graphs": [
+                {"kind": g.kind, "n": g.n, "params": dict(g.params)}
+                for g in self.graphs
+            ],
+            "adversaries": [
+                {"kind": a.kind, "params": dict(a.params)}
+                for a in self.adversaries
+            ],
+            "collision_rules": list(self.collision_rules),
+            "start_modes": list(self.start_modes),
+            "seeds": list(self.seeds),
+            "max_rounds": self.max_rounds,
+        }
+
+    _FIELDS = (
+        "name",
+        "algorithms",
+        "graphs",
+        "adversaries",
+        "collision_rules",
+        "start_modes",
+        "seeds",
+        "max_rounds",
+    )
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ExperimentSpec":
+        unknown = sorted(set(doc) - set(cls._FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown spec field(s) {unknown}; known: "
+                f"{list(cls._FIELDS)}"
+            )
+        return cls(
+            name=doc["name"],
+            algorithms=doc["algorithms"],
+            graphs=doc["graphs"],
+            adversaries=doc.get("adversaries", ["none"]),
+            collision_rules=doc.get("collision_rules", ["CR4"]),
+            start_modes=doc.get("start_modes", ["asynchronous"]),
+            seeds=doc.get("seeds", [0]),
+            max_rounds=doc.get("max_rounds"),
+        )
+
+
+def load_specs(path: str) -> List[ExperimentSpec]:
+    """Load one spec or a list of specs from a JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = [doc]
+    return [ExperimentSpec.from_dict(d) for d in doc]

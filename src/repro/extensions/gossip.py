@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.adversaries.base import Adversary
 from repro.graphs.dualgraph import DualGraph

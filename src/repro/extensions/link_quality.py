@@ -19,7 +19,7 @@ its algorithms need no topology knowledge.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs.dualgraph import DualGraph, DualGraphError, Edge

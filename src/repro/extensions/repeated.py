@@ -33,12 +33,11 @@ about the future.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
-from repro.adversaries.base import Adversary
 from repro.core.runner import make_processes
 from repro.graphs.dualgraph import DualGraph
-from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode
+from repro.sim.engine import BroadcastEngine, EngineConfig
 from repro.sim.messages import Message
 from repro.sim.process import Process, ProcessContext
 from repro.sim.trace import ExecutionTrace

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.graphs.dualgraph import DualGraph, Edge
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from repro.graphs.dualgraph import DualGraph, Edge
 

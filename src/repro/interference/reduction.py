@@ -23,14 +23,13 @@ identical seeds and compares the traces observation-for-observation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.adversaries.base import Adversary, AdversaryView
 from repro.interference.model import InterferenceEngine, InterferenceNetwork
 from repro.sim.collision import CollisionRule
 from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode
 from repro.sim.messages import Message, Reception, ReceptionKind
-from repro.sim.process import Process
 from repro.sim.trace import ExecutionTrace
 
 
@@ -266,7 +265,6 @@ def run_equivalence_check(
     if first_divergence is None and len(ref_trace.rounds) != len(
         dual_trace.rounds
     ):
-        longer = max(len(ref_trace.rounds), len(dual_trace.rounds))
         first_divergence = (
             min(len(ref_trace.rounds), len(dual_trace.rounds)) + 1,
             -1,

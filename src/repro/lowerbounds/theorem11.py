@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.adversaries.interferers import PivotAdversary
 from repro.graphs.constructions import PivotLayersLayout, pivot_layers

@@ -24,7 +24,7 @@ The paper's convention: identity 0 is assigned to the source and identity
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Optional, Sequence
 
 from repro.adversaries.base import Adversary, AdversaryView
 from repro.graphs.constructions import CliqueBridgeLayout, clique_bridge

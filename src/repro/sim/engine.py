@@ -28,13 +28,14 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+from bisect import insort
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.adversaries.base import Adversary, AdversaryView, NoDeliveryAdversary
 from repro.graphs.dualgraph import DualGraph
 from repro.sim.collision import CollisionRule, resolve_reception
-from repro.sim.messages import Message, Reception
+from repro.sim.messages import Message, Reception, SILENCE
 from repro.sim.process import Process, ProcessContext
 from repro.sim.trace import ExecutionTrace, RoundRecord
 
@@ -142,6 +143,27 @@ class BroadcastEngine:
             informed_round={v: None for v in network.nodes},
         )
 
+        # Hot-path precomputation: the per-round loops index these flat
+        # sequences instead of going through DualGraph accessor calls.
+        self._reliable_out_seq: List[tuple] = [
+            tuple(sorted(network.reliable_out(v))) for v in network.nodes
+        ]
+        self._unreliable_only_seq: List[FrozenSet[int]] = [
+            network.unreliable_only_out(v) for v in network.nodes
+        ]
+        self._context_seq: List[ProcessContext] = [
+            self._contexts[v] for v in network.nodes
+        ]
+        # Incrementally maintained views of the informed/active sets; the
+        # frozenset snapshots handed to AdversaryView are rebuilt only in
+        # rounds where the underlying set actually changed.
+        self._informed_set: set = set()
+        self._informed_view: FrozenSet[int] = frozenset()
+        self._informed_dirty = False
+        self._active_sorted: List[int] = []
+        self._active_view: FrozenSet[int] = frozenset()
+        self._active_dirty = False
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -149,7 +171,14 @@ class BroadcastEngine:
         if node in self._active:
             return
         self._active.add(node)
+        insort(self._active_sorted, node)
+        self._active_dirty = True
         self.process_at[node].on_activate(self._contexts[node])
+
+    def _mark_informed(self, node: int, round_number: int) -> None:
+        self.trace.informed_round[node] = round_number
+        self._informed_set.add(node)
+        self._informed_dirty = True
 
     def _setup(self) -> None:
         source = self.network.source
@@ -157,7 +186,7 @@ class BroadcastEngine:
         source_proc.on_broadcast_input(
             Message(payload=self.payload, sender=source_proc.uid, round_sent=0)
         )
-        self.trace.informed_round[source] = 0
+        self._mark_informed(source, 0)
         if self.config.start_mode is StartMode.SYNCHRONOUS:
             for node in self.network.nodes:
                 self._activate(node)
@@ -170,36 +199,42 @@ class BroadcastEngine:
     # Round execution
     # ------------------------------------------------------------------
     def _informed_nodes(self) -> FrozenSet[int]:
-        return frozenset(
-            v
-            for v, r in self.trace.informed_round.items()
-            if r is not None
-        )
+        if self._informed_dirty:
+            self._informed_view = frozenset(self._informed_set)
+            self._informed_dirty = False
+        return self._informed_view
+
+    def _active_nodes(self) -> FrozenSet[int]:
+        if self._active_dirty:
+            self._active_view = frozenset(self._active)
+            self._active_dirty = False
+        return self._active_view
 
     def _step(self) -> RoundRecord:
         self._round += 1
         rnd = self._round
         network = self.network
+        recording = self.config.record_receptions
 
-        # Phase 1: decisions.
-        senders: Dict[int, Message] = {}
-        for node in sorted(self._active):
-            ctx = self._contexts[node]
+        # Phase 1: decisions.  Every context (sleeping ones included, so
+        # activation mid-round observes the right round) advances first.
+        for ctx in self._context_seq:
             ctx.round_number = rnd
-            msg = self.process_at[node].decide_send(ctx)
+        senders: Dict[int, Message] = {}
+        for node in self._active_sorted:
+            msg = self.process_at[node].decide_send(self._contexts[node])
             if msg is not None:
                 senders[node] = msg
-        for node in network.nodes:
-            # Keep contexts of sleeping processes in sync for activation.
-            self._contexts[node].round_number = rnd
 
-        # Phase 2: adversary chooses unreliable deliveries.
+        # Phase 2: adversary chooses unreliable deliveries.  The view
+        # shares the engine's live mappings (adversaries must treat it as
+        # read-only); the informed/active snapshots come from the caches.
         view = AdversaryView(
             round_number=rnd,
             network=network,
-            senders=dict(senders),
+            senders=senders,
             informed=self._informed_nodes(),
-            active=frozenset(self._active),
+            active=self._active_nodes(),
             proc=self.proc_map,
         )
         raw = self.adversary.choose_deliveries(view)
@@ -210,7 +245,7 @@ class BroadcastEngine:
                     f"adversary delivered for non-sender node {sender}"
                 )
             targets = frozenset(targets)
-            illegal = targets - network.unreliable_only_out(sender)
+            illegal = targets - self._unreliable_only_seq[sender]
             if illegal:
                 raise ValueError(
                     f"adversary chose illegal targets {sorted(illegal)} "
@@ -218,56 +253,80 @@ class BroadcastEngine:
                 )
             deliveries[sender] = targets
 
-        # Phase 3: arrivals.
-        arrivals: Dict[int, List[Message]] = {v: [] for v in network.nodes}
+        # Phase 3: arrivals (only nodes actually reached get a list).
+        arrivals: Dict[int, List[Message]] = {}
+        setdefault = arrivals.setdefault
         for sender, msg in senders.items():
-            arrivals[sender].append(msg)  # a sender's message reaches itself
-            for target in network.reliable_out(sender):
-                arrivals[target].append(msg)
-            for target in deliveries.get(sender, frozenset()):
-                arrivals[target].append(msg)
+            # A sender's message reaches itself.
+            setdefault(sender, []).append(msg)
+            for target in self._reliable_out_seq[sender]:
+                setdefault(target, []).append(msg)
+            for target in deliveries.get(sender, ()):
+                setdefault(target, []).append(msg)
 
-        # Phase 4: resolution and delivery.
+        # Phase 4: resolution and delivery.  Without reception recording
+        # only nodes that are awake or reached need resolving (a sleeping
+        # node with no arrivals observes nothing by definition); with
+        # recording on, every node's observation goes into the record.
         def cr4(node: int, msgs: List[Message]) -> Optional[Message]:
             return self.adversary.resolve_cr4(view, node, msgs)
 
+        if recording:
+            candidates: Sequence[int] = network.nodes
+        elif len(self._active_sorted) == network.n:
+            candidates = self._active_sorted
+        else:
+            touched = set(self._active_sorted)
+            touched.update(arrivals)
+            candidates = sorted(touched)
+
+        no_arrivals: List[Message] = []
         newly_informed: List[int] = []
         newly_active: List[int] = []
-        receptions: Dict[int, Reception] = {}
-        for node in network.nodes:
-            is_sender = node in senders
-            reception = resolve_reception(
-                self.config.collision_rule,
-                node,
-                is_sender,
-                senders.get(node),
-                arrivals[node],
-                cr4_resolver=cr4,
-            )
-            receptions[node] = reception
-            process = self.process_at[node]
+        receptions: Optional[Dict[int, Reception]] = (
+            {} if recording else None
+        )
+        informed_round = self.trace.informed_round
+        rule = self.config.collision_rule
+        for node in candidates:
+            own_message = senders.get(node)
+            node_arrivals = arrivals.get(node, no_arrivals)
+            if own_message is None and not node_arrivals:
+                # Fast path: a non-sender nothing reached hears silence
+                # under every collision rule.
+                reception = SILENCE
+            else:
+                reception = resolve_reception(
+                    rule,
+                    node,
+                    own_message is not None,
+                    own_message,
+                    node_arrivals,
+                    cr4_resolver=cr4,
+                )
+            if receptions is not None:
+                receptions[node] = reception
             if node not in self._active:
                 if reception.is_message:
                     newly_active.append(node)
                     self._activate(node)
                 else:
                     continue  # sleeping processes observe nothing
-            was_informed = self.trace.informed_round[node] is not None
+            process = self.process_at[node]
+            was_informed = informed_round[node] is not None
             self._deliver(node, process, reception)
-            if not was_informed and self.trace.informed_round[node] is None:
+            if not was_informed and informed_round[node] is None:
                 if process.has_message and self._carries_payload(reception):
-                    self.trace.informed_round[node] = rnd
+                    self._mark_informed(node, rnd)
                     newly_informed.append(node)
 
         record = RoundRecord(
             round_number=rnd,
-            senders=dict(senders),
-            unreliable_deliveries=dict(deliveries),
+            senders=senders,
+            unreliable_deliveries=deliveries,
             newly_informed=tuple(newly_informed),
             newly_active=tuple(newly_active),
-            receptions=dict(receptions)
-            if self.config.record_receptions
-            else None,
+            receptions=receptions,
         )
         self.trace.rounds.append(record)
         return record
@@ -335,18 +394,12 @@ class BroadcastEngine:
         while self._round < self.config.max_rounds:
             self._step()
             if self.config.stop_when_informed and self._all_informed():
-                self.trace.completed = True
                 break
-        else:
-            self.trace.completed = self._all_informed()
-        if self._all_informed():
-            self.trace.completed = True
+        self.trace.completed = self._all_informed()
         return self.trace
 
     def _all_informed(self) -> bool:
-        return all(
-            r is not None for r in self.trace.informed_round.values()
-        )
+        return len(self._informed_set) == self.network.n
 
 
 def run_broadcast(

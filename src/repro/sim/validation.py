@@ -13,12 +13,12 @@ Requires traces recorded with ``record_receptions=True``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.graphs.dualgraph import DualGraph
 from repro.sim.collision import CollisionRule
 from repro.sim.engine import StartMode
-from repro.sim.messages import Message, Reception, ReceptionKind
+from repro.sim.messages import Reception
 from repro.sim.trace import ExecutionTrace
 
 

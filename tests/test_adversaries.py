@@ -12,13 +12,7 @@ from repro.adversaries import (
 )
 from repro.adversaries.base import AdversaryView
 from repro.graphs import line, pivot_layers, with_complete_unreliable
-from repro.sim import (
-    CollisionRule,
-    Message,
-    ScriptedProcess,
-    StartMode,
-    run_broadcast,
-)
+from repro.sim import Message, ScriptedProcess, run_broadcast
 
 
 def view_for(network, senders, informed=frozenset([0]), rnd=1):

@@ -21,7 +21,7 @@ from repro.analysis import (
     summarize,
     wakeup_pattern_of,
 )
-from repro.core.harmonic import busy_round_bound, harmonic_number
+from repro.core.harmonic import busy_round_bound
 
 
 class TestSummaries:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
+from repro.adversaries import GreedyInterferer
 from repro.core.decay import DecayProcess, make_decay_processes, phase_length
 from repro.core.round_robin import (
     RoundRobinProcess,

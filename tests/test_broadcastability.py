@@ -1,6 +1,5 @@
 """Tests for k-broadcastability (Section 3)."""
 
-import pytest
 
 from repro.graphs import (
     clique,

@@ -79,6 +79,81 @@ class TestSweep:
         assert "growth fit" in out
         assert "completion rounds" in out
 
+    def test_sweep_unknown_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--graph", "nope", "--sizes", "8"])
+
+    def test_sweep_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "name": "cli-spec",
+                    "algorithms": ["round_robin"],
+                    "graphs": [{"kind": "line", "sizes": [6, 10]}],
+                    "adversaries": ["none"],
+                    "seeds": [0, 1],
+                }
+            )
+        )
+        rc = main(["sweep", "--spec", str(spec_file), "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-spec" in out
+        assert "growth fit" in out
+
+    def test_sweep_spec_resumes_from_results(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "name": "cli-resume",
+                    "algorithms": ["round_robin"],
+                    "graphs": [{"kind": "line", "n": 6}],
+                    "seeds": [0, 1, 2],
+                }
+            )
+        )
+        results = tmp_path / "results.jsonl"
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--results", str(results)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "3 run, 0 resumed" in first
+
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--results", str(results)]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "0 run, 3 resumed" in second
+
+    def test_sweep_missing_spec_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load spec"):
+            main(["sweep", "--spec", str(tmp_path / "absent.json")])
+
+    def test_sweep_shipped_tiny_spec_runs(self, capsys):
+        """The spec file CI's smoke job uses stays valid."""
+        import pathlib
+
+        spec = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "examples" / "specs" / "tiny_sweep.json"
+        )
+        rc = main(["sweep", "--spec", str(spec), "--workers", "2"])
+        assert rc == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_sweep_capped_runs_exit_nonzero(self, capsys):
+        rc = main(
+            [
+                "sweep", "--graph", "line", "--algorithm", "round_robin",
+                "--adversary", "none", "--sizes", "12", "--seeds", "0",
+                "--max-rounds", "2",
+            ]
+        )
+        assert rc == 1
+        assert "hit the round cap" in capsys.readouterr().err
+
 
 class TestLowerBound:
     def test_theorem2(self, capsys):

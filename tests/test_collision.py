@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.collision import CollisionRule, resolve_reception
-from repro.sim.messages import Message, ReceptionKind
+from repro.sim.messages import Message
 
 
 def msg(sender, payload="p"):

@@ -9,16 +9,7 @@ from repro.adversaries import (
 )
 from repro.graphs import line, star, with_complete_unreliable
 from repro.graphs.dualgraph import DualGraph
-from repro.sim import (
-    BroadcastEngine,
-    CollisionRule,
-    EngineConfig,
-    Message,
-    ScriptedProcess,
-    SilentProcess,
-    StartMode,
-    run_broadcast,
-)
+from repro.sim import BroadcastEngine, CollisionRule, EngineConfig, ScriptedProcess, SilentProcess, StartMode, run_broadcast
 
 
 def scripted(n, rounds=range(1, 1000), **kw):

@@ -17,7 +17,6 @@ from repro.extensions import (
 )
 from repro.graphs import gnp_dual, line, with_complete_unreliable
 from repro.sim import run_broadcast
-from repro.sim.process import ScriptedProcess
 
 
 class TestScheduledProcess:

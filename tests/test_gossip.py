@@ -3,7 +3,7 @@
 import pytest
 
 from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
-from repro.extensions.gossip import GossipProcess, run_gossip
+from repro.extensions.gossip import run_gossip
 from repro.graphs import (
     clique,
     directed_layered,

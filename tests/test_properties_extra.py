@@ -14,14 +14,7 @@ from repro.graphs.broadcastability import (
     greedy_broadcast_schedule,
     guaranteed_informed,
 )
-from repro.sim import (
-    BroadcastEngine,
-    CollisionRule,
-    EngineConfig,
-    StartMode,
-    trace_from_json,
-    trace_to_json,
-)
+from repro.sim import BroadcastEngine, EngineConfig, trace_from_json, trace_to_json
 
 SLOW = settings(
     max_examples=20,

@@ -6,14 +6,7 @@ from repro.adversaries import GreedyInterferer, RandomDeliveryAdversary
 from repro.adversaries.scripted import ReplayAdversary, ScriptedDeliveries
 from repro.core import make_harmonic_processes, make_round_robin_processes
 from repro.graphs import gnp_dual, line, with_complete_unreliable
-from repro.sim import (
-    BroadcastEngine,
-    CollisionRule,
-    EngineConfig,
-    ScriptedProcess,
-    StartMode,
-    run_broadcast,
-)
+from repro.sim import BroadcastEngine, EngineConfig, ScriptedProcess, run_broadcast
 from repro.sim.recording import (
     load_trace,
     save_trace,

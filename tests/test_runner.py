@@ -1,10 +1,15 @@
 """Unit tests for the high-level broadcast() runner API."""
 
+import math
+
 import pytest
 
 from repro import algorithm_names, broadcast, make_processes
 from repro.adversaries import GreedyInterferer
+from repro.core.harmonic import completion_bound, default_T
+from repro.core.round_robin import round_robin_bound
 from repro.core.runner import register_algorithm, suggested_round_limit
+from repro.core.strong_select import build_schedule
 from repro.graphs import gnp_dual, line
 from repro.sim import CollisionRule, StartMode
 from repro.sim.process import SilentProcess
@@ -41,6 +46,14 @@ class TestRegistry:
         with pytest.raises(ValueError, match="already registered"):
             register_algorithm("always_silent_test", lambda n: [])
 
+    def test_duplicate_builtin_name_rejected_without_overwrite(self):
+        """A clashing registration fails loudly and leaves the
+        original factory in place."""
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("round_robin", lambda n, **kw: [])
+        procs = make_processes("round_robin", 4)
+        assert sorted(p.uid for p in procs) == list(range(4))
+
 
 class TestSuggestedLimits:
     def test_limits_positive_and_ordered(self):
@@ -53,6 +66,35 @@ class TestSuggestedLimits:
         # Strong Select's n^{3/2}-shaped bound dominates round robin's
         # n * ecc on a low-eccentricity random graph.
         assert ss > rr
+
+    def test_each_algorithm_gets_its_proven_bound(self):
+        """Every branch derives the cap from that algorithm's theorem."""
+        g = gnp_dual(32, seed=0)
+        n, ecc = g.n, g.source_eccentricity
+        log2n = max(1.0, math.log2(n))
+        assert suggested_round_limit("strong_select", g) == (
+            build_schedule(n).round_bound() + 1
+        )
+        # The prefix match covers the Kautz-SSF variant too.
+        assert suggested_round_limit("strong_select_ks", g) == (
+            build_schedule(n).round_bound() + 1
+        )
+        assert suggested_round_limit("harmonic", g) == (
+            2 * completion_bound(n, default_T(n)) + 1
+        )
+        assert suggested_round_limit("round_robin", g) == (
+            round_robin_bound(n, ecc) + 1
+        )
+        assert suggested_round_limit("uniform", g) == (
+            int(12 * n * (ecc + log2n) * log2n) + 1
+        )
+        # Algorithms without a dual-graph guarantee (decay, custom
+        # registrations) share the generous default allowance.
+        default_allowance = int(4 * n * log2n * log2n + n * ecc) + 1
+        assert suggested_round_limit("decay", g) == default_allowance
+        assert suggested_round_limit("anything_else", g) == (
+            default_allowance
+        )
 
 
 class TestBroadcastEntryPoint:
@@ -96,3 +138,31 @@ class TestBroadcastEntryPoint:
         trace = broadcast(line(8), "round_robin", max_rounds=3)
         assert trace.num_rounds <= 3
         assert not trace.completed
+
+    def test_algorithm_params_reach_the_factory(self):
+        """broadcast(algorithm_params=...) forwards kwargs verbatim."""
+        received = {}
+
+        def probe_factory(n, **params):
+            received.update(params)
+            return [SilentProcess(uid=i) for i in range(n)]
+
+        register_algorithm("params_probe_test", probe_factory)
+        broadcast(
+            line(4),
+            "params_probe_test",
+            algorithm_params={"alpha": 7, "beta": "x"},
+            max_rounds=2,
+        )
+        assert received == {"alpha": 7, "beta": "x"}
+
+    def test_algorithm_params_default_to_empty(self):
+        received = {}
+
+        def probe_factory(n, **params):
+            received.update(params)
+            return [SilentProcess(uid=i) for i in range(n)]
+
+        register_algorithm("params_probe_default_test", probe_factory)
+        broadcast(line(4), "params_probe_default_test", max_rounds=2)
+        assert received == {}

@@ -1,6 +1,5 @@
 """Unit tests for strongly selective families (Definition 6)."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,7 @@ import pytest
 from repro.graphs import line
 from repro.sim import ScriptedProcess, run_broadcast
 from repro.sim.messages import Message
-from repro.sim.trace import ExecutionTrace, RoundRecord
+from repro.sim.trace import RoundRecord
 
 
 def make_trace():

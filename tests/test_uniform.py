@@ -4,7 +4,7 @@ import pytest
 
 from repro import broadcast
 from repro.analysis import summarize
-from repro.core.uniform import UniformProcess, make_uniform_processes
+from repro.core.uniform import UniformProcess
 from repro.graphs import clique, gnp_dual
 
 
