@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Cross-check documented CLI commands against the real ``repro --help``.
+
+Walks every fenced code block in README.md and docs/*.md, extracts the
+``repro …`` / ``python -m repro …`` command lines (joining backslash
+continuations), and verifies that
+
+* the subcommand exists, and
+* every ``--flag`` it uses is accepted by that subcommand's parser
+
+so documentation cannot drift ahead of (or behind) the CLI without
+failing the CI docs job.  Relative markdown links are checked for
+existence as a bonus — a renamed doc breaks the build, not the reader.
+
+Usage: ``python scripts/check_docs.py`` (exit status 0 = clean).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+FENCE = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
+LINK = re.compile(r"\[[^\]]*\]\(([^)#]+)(?:#[^)]*)?\)")
+
+
+def known_flags() -> dict:
+    """subcommand -> set of accepted ``--flags``, from the live parser."""
+    parser = build_parser()
+    out = {}
+    for action in parser._subparsers._group_actions:  # argparse internals
+        for name, sub in action.choices.items():
+            out[name] = set(FLAG.findall(sub.format_help())) | {"--help"}
+    return out
+
+
+def command_lines(block: str):
+    """Yield logical ``repro …`` command lines, continuations joined."""
+    logical = []
+    pending = ""
+    for line in block.splitlines():
+        line = pending + line.strip()
+        if line.endswith("\\"):
+            pending = line[:-1] + " "
+            continue
+        pending = ""
+        logical.append(line)
+    for line in logical:
+        for prefix in ("repro ", "python -m repro "):
+            if line.startswith(prefix):
+                yield line, line[len(prefix):].split()
+                break
+
+
+def check_commands(path: pathlib.Path, text: str, flags_by_sub: dict):
+    problems = []
+    for block in FENCE.findall(text):
+        for line, argv in command_lines(block):
+            if not argv:
+                continue
+            sub = argv[0]
+            if sub not in flags_by_sub:
+                problems.append(
+                    f"{path.name}: unknown subcommand {sub!r} in: {line}"
+                )
+                continue
+            used = {f.split("=")[0] for f in argv[1:] if f.startswith("--")}
+            stale = sorted(used - flags_by_sub[sub])
+            if stale:
+                problems.append(
+                    f"{path.name}: `repro {sub}` does not accept "
+                    f"{', '.join(stale)} (from: {line})"
+                )
+    return problems
+
+
+def check_links(path: pathlib.Path, text: str):
+    problems = []
+    for target in LINK.findall(text):
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.name}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    flags_by_sub = known_flags()
+    problems = []
+    checked = 0
+    for path in DOC_FILES:
+        text = path.read_text(encoding="utf-8")
+        problems += check_commands(path, text, flags_by_sub)
+        problems += check_links(path, text)
+        checked += 1
+    if problems:
+        for problem in problems:
+            print(f"STALE-DOCS: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"docs check: {checked} files, CLI commands and links consistent "
+        f"with repro --help ({', '.join(sorted(flags_by_sub))})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

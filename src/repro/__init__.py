@@ -23,7 +23,13 @@ from repro.core.runner import (
     register_algorithm,
 )
 from repro.graphs.dualgraph import DualGraph
-from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode
+from repro.sim.engine import (
+    BroadcastEngine,
+    EngineConfig,
+    StartMode,
+    build_engine,
+)
+from repro.sim.fast_engine import FastBroadcastEngine
 from repro.sim.collision import CollisionRule
 from repro.sim.trace import ExecutionTrace
 
@@ -35,7 +41,9 @@ __all__ = [
     "DualGraph",
     "EngineConfig",
     "ExecutionTrace",
+    "FastBroadcastEngine",
     "StartMode",
+    "build_engine",
     "__version__",
     "algorithm_names",
     "broadcast",

@@ -21,11 +21,13 @@ by key after an interruption.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
 from repro.analysis import best_fit, render_table
 from repro.core.runner import algorithm_names, broadcast
+from repro.sim.engine import ENGINE_NAMES
 from repro.experiments import (
     ExperimentSpec,
     SweepResult,
@@ -61,6 +63,7 @@ def cmd_run(args) -> int:
         adversary=_build_adversary_or_exit(args),
         seed=args.seed,
         max_rounds=args.max_rounds,
+        engine=args.engine,
     )
     if args.json:
         print(trace.to_json())
@@ -94,6 +97,7 @@ def _legacy_spec(args) -> ExperimentSpec:
             (args.graph, int(s)) for s in args.sizes.split(",")
         ],
         adversaries=[(args.adversary, params)],
+        engines=[args.engine or "reference"],
         seeds=[int(s) for s in args.seeds.split(",")],
         max_rounds=args.max_rounds,
     )
@@ -118,6 +122,13 @@ def cmd_sweep(args) -> int:
             specs = load_specs(args.spec)
         except (OSError, ValueError, KeyError, TypeError) as exc:
             raise SystemExit(f"cannot load spec {args.spec!r}: {exc}")
+        if args.engine:
+            # An explicit --engine overrides every loaded spec's engine
+            # axis (results are engine-independent; only keys change).
+            specs = [
+                dataclasses.replace(spec, engines=(args.engine,))
+                for spec in specs
+            ]
         title = f"sweep spec {args.spec}"
     else:
         specs = [_legacy_spec(args)]
@@ -251,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="delivery probability for --adversary random")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--max-rounds", type=int, default=None)
+    run.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="reference",
+        help="execution engine (fast = bitmask fast path; identical "
+        "traces)",
+    )
     run.add_argument("--json", action="store_true")
     run.set_defaults(func=cmd_run)
 
@@ -278,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--results", default=None,
         help="JSON-lines results file; existing records are resumed "
         "rather than re-run",
+    )
+    sweep.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default=None,
+        help="execution engine for every task (overrides the spec "
+        "file's engines axis); tasks whose combination is ineligible "
+        "for the fast path silently use the reference engine",
     )
     sweep.set_defaults(func=cmd_sweep)
 

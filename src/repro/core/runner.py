@@ -37,7 +37,7 @@ from repro.core.strong_select import (
 )
 from repro.core.uniform import make_uniform_processes
 from repro.graphs.dualgraph import DualGraph
-from repro.sim.engine import BroadcastEngine, EngineConfig
+from repro.sim.engine import EngineConfig, build_engine
 from repro.sim.process import Process
 from repro.sim.trace import ExecutionTrace
 
@@ -128,7 +128,7 @@ def broadcast(
         **config_kwargs: Forwarded to
             :class:`~repro.sim.engine.EngineConfig` (e.g.
             ``collision_rule=CollisionRule.CR1``,
-            ``start_mode=StartMode.SYNCHRONOUS``).
+            ``start_mode=StartMode.SYNCHRONOUS``, ``engine="fast"``).
     """
     processes = make_processes(
         algorithm, network.n, **(algorithm_params or {})
@@ -138,5 +138,5 @@ def broadcast(
     config = EngineConfig(
         seed=seed, max_rounds=max_rounds, **config_kwargs
     )
-    engine = BroadcastEngine(network, processes, adversary, config)
+    engine = build_engine(network, processes, adversary, config)
     return engine.run()

@@ -39,6 +39,11 @@ class RunResult:
             (``None`` if the cap was hit first).
         rounds: Rounds executed.
         total_transmissions: Sum of per-round sender counts.
+        engine: The engine that actually executed the task
+            (``"reference"`` or ``"fast"``) — informational only, since
+            the engines are trace-equivalent; a task requesting the fast
+            engine records ``"reference"`` when its combination was
+            ineligible and fell back.
     """
 
     key: str
@@ -55,8 +60,10 @@ class RunResult:
     completion_round: Optional[int]
     rounds: int
     total_transmissions: int
+    engine: str = "reference"
 
     def to_dict(self) -> Dict[str, Any]:
+        """The record as one JSON-lines document (see ``from_dict``)."""
         return {
             "key": self.key,
             "sweep": self.sweep,
@@ -72,10 +79,12 @@ class RunResult:
             "completion_round": self.completion_round,
             "rounds": self.rounds,
             "total_transmissions": self.total_transmissions,
+            "engine": self.engine,
         }
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "RunResult":
+        """Rebuild a record from its JSON-lines document."""
         return cls(
             key=doc["key"],
             sweep=doc["sweep"],
@@ -95,6 +104,7 @@ class RunResult:
             ),
             rounds=int(doc["rounds"]),
             total_transmissions=int(doc["total_transmissions"]),
+            engine=doc.get("engine", "reference"),
         )
 
 
@@ -162,6 +172,7 @@ class SweepResult:
 
     @property
     def failure_count(self) -> int:
+        """Number of records that hit the round cap."""
         return len(self.failures)
 
     def completion_rounds(self) -> List[int]:

@@ -8,10 +8,26 @@ records already sit in the results file (resume-by-key), and streams the
 remaining tasks through ``imap_unordered`` with a derived chunk size so
 per-task IPC overhead stays low on large grids.
 
-Determinism: each task's engine seed is derived from its key, and the
-final record list is key-sorted, so the same spec produces the identical
-:class:`~repro.experiments.results.SweepResult` records for any worker
-count, chunking, or resume history.
+Invariants:
+
+* **Determinism** — each task's engine seed is derived from its science
+  key, and the final record list is key-sorted, so the same spec
+  produces the identical
+  :class:`~repro.experiments.results.SweepResult` records for any
+  worker count, chunking, engine choice, or resume history.
+* **Durable resume** — with ``results_path`` set, each record is
+  appended (and flushed) as a JSON line the moment its task finishes,
+  so an interrupted sweep leaves a valid prefix.  The persistence layer
+  (:mod:`repro.experiments.persist`) heals a torn final line — the
+  signature of a hard kill mid-write — by skipping what does not parse
+  on load and starting the next append on a fresh line, so resuming
+  re-runs exactly the tasks whose records are missing.
+* **Transparent fast path** — a task whose spec requests
+  ``engine="fast"`` runs on the bitmask engine only when
+  :func:`repro.sim.fast_engine.fast_engine_eligible` approves its
+  collision-rule/adversary combination, and silently downgrades to the
+  reference engine otherwise; either way the trace, and therefore the
+  record, is the same (the engines are proven trace-equivalent).
 """
 
 from __future__ import annotations
@@ -30,7 +46,8 @@ from repro.experiments.registry import build_adversary, build_graph
 from repro.experiments.results import RunResult, SweepResult
 from repro.experiments.spec import ExperimentSpec, RunTask
 from repro.sim.collision import CollisionRule
-from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode
+from repro.sim.engine import EngineConfig, StartMode, build_engine
+from repro.sim.fast_engine import fast_engine_eligible
 
 #: Called after each finished task with (result, done_count, total).
 ProgressCallback = Callable[[RunResult, int, int], None]
@@ -52,13 +69,18 @@ def execute_task(task: RunTask) -> RunResult:
     max_rounds = task.max_rounds
     if max_rounds is None:
         max_rounds = suggested_round_limit(task.algorithm, graph)
+    rule = CollisionRule[task.collision_rule]
+    engine_name = task.engine
+    if engine_name == "fast" and not fast_engine_eligible(rule, adversary):
+        engine_name = "reference"  # transparent: traces are identical
     config = EngineConfig(
-        collision_rule=CollisionRule[task.collision_rule],
+        collision_rule=rule,
         start_mode=StartMode(task.start_mode),
         max_rounds=max_rounds,
         seed=task.derived_seed,
+        engine=engine_name,
     )
-    engine = BroadcastEngine(graph, processes, adversary, config)
+    engine = build_engine(graph, processes, adversary, config)
     trace = engine.run()
     return RunResult(
         key=task.key,
@@ -75,6 +97,7 @@ def execute_task(task: RunTask) -> RunResult:
         completion_round=trace.completion_round,
         rounds=trace.num_rounds,
         total_transmissions=sum(trace.sender_counts()),
+        engine=engine_name,
     )
 
 

@@ -1,20 +1,36 @@
 """Declarative experiment grids.
 
 An :class:`ExperimentSpec` names every axis of a sweep — algorithms,
-graph families with sizes, adversaries, collision rules, start modes and
-seeds — and expands to the cross product as a deterministic, ordered list
-of :class:`RunTask`\\ s.  Tasks are frozen tuples of primitives, so they
+graph families with sizes, adversaries, collision rules, start modes,
+engines and seeds — and expands to the cross product as a deterministic,
+ordered list of :class:`RunTask`\\ s.  Tasks are frozen tuples of
+primitives, so they pickle cheaply across ``multiprocessing`` workers.
 
-* pickle cheaply across ``multiprocessing`` workers,
-* carry a stable human-readable ``key`` used for resume-by-key
-  persistence and for the determinism guarantee (the same spec always
-  yields the same keys in the same order), and
-* derive a per-task engine seed from that key, so no two grid cells
-  accidentally share an RNG stream even when they share a sweep seed.
+Invariants the rest of the subsystem builds on:
+
+* **Stable keys** — :attr:`RunTask.key` names every input that can
+  change the outcome; it is the resume-by-key handle (the same spec
+  always yields the same keys in the same order), so a results file
+  written by one run is a valid resume point for any later run of the
+  same spec.
+* **Key-derived seeds** — each task's engine seed is
+  ``crc32(science_key)``: derived, not assigned, so no two grid cells
+  share an RNG stream even when they share a sweep seed, and the
+  derivation is independent of worker count, chunking and resume
+  history (``zlib.crc32`` is stable across processes and Python
+  versions, unlike ``hash``).
+* **Engine neutrality** — the ``engine`` axis selects an
+  *implementation* (reference or bitmask fast path), not an experiment
+  input.  It is part of :attr:`RunTask.key` (records of different
+  engines never collide in a results file) but excluded from
+  :attr:`RunTask.science_key`, which seeds the run — so the same grid
+  cell produces the identical trace under either engine, a property
+  ``tests/test_fast_engine_equivalence.py`` asserts.
 
 Specs serialise to/from JSON (``to_dict`` / ``from_dict`` /
 :func:`load_specs`) so sweeps are reproducible from a committed file and
-shell history alone.
+shell history alone; the format is documented field by field in
+``docs/SWEEP_SPECS.md``.
 """
 
 from __future__ import annotations
@@ -25,7 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.sim.collision import CollisionRule
-from repro.sim.engine import StartMode
+from repro.sim.engine import ENGINE_NAMES, StartMode
 
 Params = Tuple[Tuple[str, Any], ...]
 
@@ -57,6 +73,7 @@ class AlgorithmSpec:
 
     @property
     def label(self) -> str:
+        """Human-readable axis label, e.g. ``harmonic(T=4)``."""
         return f"{self.name}{_fmt_params(self.params)}"
 
 
@@ -73,6 +90,7 @@ class GraphSpec:
 
     @property
     def label(self) -> str:
+        """Human-readable axis label, e.g. ``line:n16``."""
         return f"{self.kind}:n{self.n}{_fmt_params(self.params)}"
 
 
@@ -88,6 +106,7 @@ class AdversarySpec:
 
     @property
     def label(self) -> str:
+        """Human-readable axis label, e.g. ``random(p=0.5)``."""
         return f"{self.kind}{_fmt_params(self.params)}"
 
 
@@ -111,14 +130,15 @@ class RunTask:
     start_mode: str
     seed: int
     max_rounds: Optional[int] = None
+    engine: str = "reference"
 
     @property
-    def key(self) -> str:
-        """Stable identifier used for persistence and resume.
+    def science_key(self) -> str:
+        """The key of the *experiment inputs* only — engine excluded.
 
-        Every input that can change the outcome is part of the key —
-        including an explicit round cap, so editing ``max_rounds`` in a
-        spec invalidates old records instead of silently resuming them.
+        Two tasks differing only in ``engine`` share a science key and
+        therefore a derived seed: the engine is an implementation
+        choice, proven trace-equivalent, and must not change results.
         """
         parts = [
             self.sweep,
@@ -135,14 +155,31 @@ class RunTask:
         return "/".join(parts)
 
     @property
+    def key(self) -> str:
+        """Stable identifier used for persistence and resume.
+
+        Every input that can change the outcome is part of the key —
+        including an explicit round cap, so editing ``max_rounds`` in a
+        spec invalidates old records instead of silently resuming them.
+        The engine is appended only when it is not the reference engine,
+        keeping keys (and results files) from older sweeps valid.
+        """
+        key = self.science_key
+        if self.engine != "reference":
+            key = f"{key}/eng-{self.engine}"
+        return key
+
+    @property
     def derived_seed(self) -> int:
-        """Engine seed derived from the task key.
+        """Engine seed derived from the task's science key.
 
         ``zlib.crc32`` is stable across processes and Python versions
         (unlike ``hash``), so the derivation is reproducible no matter
-        how the grid is partitioned over workers.
+        how the grid is partitioned over workers.  Deriving from
+        :attr:`science_key` rather than :attr:`key` makes the seed —
+        and hence the run — independent of the engine choice.
         """
-        return zlib.crc32(self.key.encode("utf-8"))
+        return zlib.crc32(self.science_key.encode("utf-8"))
 
 
 def _coerce_algorithm(entry) -> AlgorithmSpec:
@@ -211,6 +248,15 @@ def _coerce_mode(entry) -> str:
     return value
 
 
+def _coerce_engine(entry) -> str:
+    value = str(entry).lower()
+    if value not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {entry!r}; known: {list(ENGINE_NAMES)}"
+        )
+    return value
+
+
 def _coerce_seeds(entry) -> Tuple[int, ...]:
     if isinstance(entry, dict):
         start = int(entry.get("start", 0))
@@ -241,6 +287,12 @@ class ExperimentSpec:
 
     ``max_rounds=None`` lets each task fall back to the algorithm's
     proven-bound limit (:func:`repro.core.runner.suggested_round_limit`).
+
+    ``engines`` selects the execution engine implementation per task:
+    ``"reference"`` or ``"fast"`` (the bitmask engine, used when the
+    task's collision-rule/adversary combination is eligible and silently
+    downgraded to the reference engine otherwise — results are identical
+    either way).
     """
 
     name: str
@@ -249,6 +301,7 @@ class ExperimentSpec:
     adversaries: Tuple[AdversarySpec, ...] = (AdversarySpec("none"),)
     collision_rules: Tuple[str, ...] = ("CR4",)
     start_modes: Tuple[str, ...] = ("asynchronous",)
+    engines: Tuple[str, ...] = ("reference",)
     seeds: Tuple[int, ...] = (0,)
     max_rounds: Optional[int] = None
 
@@ -277,10 +330,25 @@ class ExperimentSpec:
             "start_modes",
             tuple(_coerce_mode(m) for m in self.start_modes),
         )
+        object.__setattr__(
+            self,
+            "engines",
+            tuple(_coerce_engine(e) for e in self.engines),
+        )
         object.__setattr__(self, "seeds", _coerce_seeds(self.seeds))
-        if not (self.algorithms and self.graphs and self.seeds):
+        if not (
+            self.algorithms
+            and self.graphs
+            and self.adversaries
+            and self.collision_rules
+            and self.start_modes
+            and self.engines
+            and self.seeds
+        ):
             raise ValueError(
-                "spec needs at least one algorithm, graph and seed"
+                "spec needs at least one entry on every axis "
+                "(algorithms, graphs, adversaries, collision_rules, "
+                "start_modes, engines, seeds)"
             )
 
     # ------------------------------------------------------------------
@@ -295,6 +363,7 @@ class ExperimentSpec:
             * len(self.adversaries)
             * len(self.collision_rules)
             * len(self.start_modes)
+            * len(self.engines)
             * len(self.seeds)
         )
 
@@ -306,29 +375,32 @@ class ExperimentSpec:
                 for adv in self.adversaries:
                     for rule in self.collision_rules:
                         for mode in self.start_modes:
-                            for seed in self.seeds:
-                                out.append(
-                                    RunTask(
-                                        sweep=self.name,
-                                        algorithm=alg.name,
-                                        algorithm_params=alg.params,
-                                        graph_kind=graph.kind,
-                                        n=graph.n,
-                                        graph_params=graph.params,
-                                        adversary_kind=adv.kind,
-                                        adversary_params=adv.params,
-                                        collision_rule=rule,
-                                        start_mode=mode,
-                                        seed=seed,
-                                        max_rounds=self.max_rounds,
+                            for engine in self.engines:
+                                for seed in self.seeds:
+                                    out.append(
+                                        RunTask(
+                                            sweep=self.name,
+                                            algorithm=alg.name,
+                                            algorithm_params=alg.params,
+                                            graph_kind=graph.kind,
+                                            n=graph.n,
+                                            graph_params=graph.params,
+                                            adversary_kind=adv.kind,
+                                            adversary_params=adv.params,
+                                            collision_rule=rule,
+                                            start_mode=mode,
+                                            seed=seed,
+                                            max_rounds=self.max_rounds,
+                                            engine=engine,
+                                        )
                                     )
-                                )
         return out
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """The spec as a JSON-serialisable document (see ``from_dict``)."""
         return {
             "name": self.name,
             "algorithms": [
@@ -345,6 +417,7 @@ class ExperimentSpec:
             ],
             "collision_rules": list(self.collision_rules),
             "start_modes": list(self.start_modes),
+            "engines": list(self.engines),
             "seeds": list(self.seeds),
             "max_rounds": self.max_rounds,
         }
@@ -356,12 +429,14 @@ class ExperimentSpec:
         "adversaries",
         "collision_rules",
         "start_modes",
+        "engines",
         "seeds",
         "max_rounds",
     )
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a JSON document, rejecting unknown fields."""
         unknown = sorted(set(doc) - set(cls._FIELDS))
         if unknown:
             raise ValueError(
@@ -375,6 +450,7 @@ class ExperimentSpec:
             adversaries=doc.get("adversaries", ["none"]),
             collision_rules=doc.get("collision_rules", ["CR4"]),
             start_modes=doc.get("start_modes", ["asynchronous"]),
+            engines=doc.get("engines", ["reference"]),
             seeds=doc.get("seeds", [0]),
             max_rounds=doc.get("max_rounds"),
         )

@@ -32,7 +32,7 @@ from typing import Dict, Optional, Sequence, Set
 
 from repro.adversaries.base import Adversary
 from repro.graphs.dualgraph import DualGraph
-from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode
+from repro.sim.engine import BroadcastEngine, EngineConfig, StartMode, build_engine
 from repro.sim.messages import Message, Reception
 from repro.sim.process import Process, ProcessContext
 
@@ -106,6 +106,7 @@ def run_gossip(
     seed: int = 0,
     max_rounds: Optional[int] = None,
     rumors: Optional[Sequence[object]] = None,
+    engine: str = "reference",
 ) -> GossipResult:
     """Run round-robin gossip to completion on a dual graph.
 
@@ -117,6 +118,9 @@ def run_gossip(
         seed: Engine seed.
         max_rounds: Cap (default: the ``n·(ecc_max+1)`` guarantee).
         rumors: Per-uid rumor values (default ``"rumor-<uid>"``).
+        engine: Execution engine (``"reference"`` or ``"fast"``); gossip
+            processes observe silence, so the fast engine treats every
+            node as an observer and keeps full delivery discipline.
 
     Raises:
         ValueError: If ``G`` is not strongly connected (gossip needs
@@ -140,16 +144,17 @@ def run_gossip(
         max_rounds=max_rounds,
         start_mode=StartMode.SYNCHRONOUS,
         stop_when_informed=False,
+        engine=engine,
     )
-    engine = BroadcastEngine(network, processes, adversary, config)
+    sim = build_engine(network, processes, adversary, config)
     everything = set(rumors)
 
     def done(e: BroadcastEngine) -> bool:
         return all(p.rumors == everything for p in processes)
 
-    engine.run_until(done)
+    sim.run_until(done)
     return GossipResult(
         completed=all(p.rumors == everything for p in processes),
-        rounds=engine.round_number,
+        rounds=sim.round_number,
         rumor_counts={p.uid: len(p.rumors) for p in processes},
     )

@@ -3,10 +3,13 @@
 from repro.sim.collision import CollisionRule, resolve_reception
 from repro.sim.engine import (
     BroadcastEngine,
+    ENGINE_NAMES,
     EngineConfig,
     StartMode,
+    build_engine,
     run_broadcast,
 )
+from repro.sim.fast_engine import FastBroadcastEngine, fast_engine_eligible
 from repro.sim.messages import (
     COLLISION,
     Message,
@@ -34,8 +37,10 @@ __all__ = [
     "BroadcastEngine",
     "COLLISION",
     "CollisionRule",
+    "ENGINE_NAMES",
     "EngineConfig",
     "ExecutionTrace",
+    "FastBroadcastEngine",
     "Message",
     "Process",
     "ProcessContext",
@@ -46,6 +51,8 @@ __all__ = [
     "ScriptedProcess",
     "SilentProcess",
     "StartMode",
+    "build_engine",
+    "fast_engine_eligible",
     "load_trace",
     "received",
     "resolve_reception",

@@ -20,6 +20,24 @@ resolve arrivals into a single :class:`~repro.sim.messages.Reception`:
 The rules are ordered CR1 (strongest for algorithms) to CR4 (weakest); the
 paper's lower bounds use CR1 and its upper bounds use CR4, strengthening
 both directions.
+
+The full observability matrix (the invariant both engines are held to by
+``repro.sim.validation`` and the differential equivalence suite)::
+
+    rule | sender observes             | non-sender: 0 arr | 1 arr | >=2 arr
+    -----+-----------------------------+-------------------+-------+--------
+    CR1  | ⊤ if >=2 arrivals (its own  | ⊥                 | msg   | ⊤
+         | included), else its message |                   |       |
+    CR2  | always its own message      | ⊥                 | msg   | ⊤
+    CR3  | always its own message      | ⊥                 | msg   | ⊥
+    CR4  | always its own message      | ⊥                 | msg   | adversary:
+         |                             |                   |       | ⊥ or one
+         |                             |                   |       | arrival
+
+Two consequences the engines rely on: silence at a node with zero
+arrivals is universal (a sender always has at least one arrival — its
+own), and only CR4's last cell involves the adversary, which is why the
+fast engine can resolve everything else with set algebra alone.
 """
 
 from __future__ import annotations

@@ -49,6 +49,10 @@ class StartMode(enum.Enum):
     ASYNCHRONOUS = "asynchronous"
 
 
+#: Names accepted by :attr:`EngineConfig.engine` / :func:`build_engine`.
+ENGINE_NAMES = ("reference", "fast")
+
+
 @dataclass
 class EngineConfig:
     """Execution parameters.
@@ -66,6 +70,11 @@ class EngineConfig:
             payload (the broadcast problem's success condition).
         record_receptions: Keep per-node observations in the trace
             (memory-heavy; intended for tests and small runs).
+        engine: Which execution engine implementation to use:
+            ``"reference"`` (this module's :class:`BroadcastEngine`, the
+            semantic ground truth) or ``"fast"`` (the bitmask engine in
+            :mod:`repro.sim.fast_engine`, which produces bit-identical
+            traces — see ``tests/test_fast_engine_equivalence.py``).
     """
 
     collision_rule: CollisionRule = CollisionRule.CR4
@@ -74,6 +83,7 @@ class EngineConfig:
     seed: int = 0
     stop_when_informed: bool = True
     record_receptions: bool = False
+    engine: str = "reference"
 
 
 class BroadcastEngine:
@@ -210,14 +220,14 @@ class BroadcastEngine:
             self._active_dirty = False
         return self._active_view
 
-    def _step(self) -> RoundRecord:
-        self._round += 1
-        rnd = self._round
-        network = self.network
-        recording = self.config.record_receptions
+    def _decide_senders(self, rnd: int) -> Dict[int, Message]:
+        """Phase 1: advance every context and collect the round's senders.
 
-        # Phase 1: decisions.  Every context (sleeping ones included, so
-        # activation mid-round observes the right round) advances first.
+        Every context (sleeping ones included, so activation mid-round
+        observes the right round) advances first.  The returned mapping's
+        insertion order is ascending node order — the fast engine relies
+        on this to reconstruct identical CR4 arrival lists.
+        """
         for ctx in self._context_seq:
             ctx.round_number = rnd
         senders: Dict[int, Message] = {}
@@ -225,18 +235,33 @@ class BroadcastEngine:
             msg = self.process_at[node].decide_send(self._contexts[node])
             if msg is not None:
                 senders[node] = msg
+        return senders
 
-        # Phase 2: adversary chooses unreliable deliveries.  The view
-        # shares the engine's live mappings (adversaries must treat it as
-        # read-only); the informed/active snapshots come from the caches.
-        view = AdversaryView(
+    def _adversary_view(self, rnd: int, senders: Dict[int, Message]
+                        ) -> AdversaryView:
+        """Phase 2 (view): what the adversary observes this round.
+
+        The view shares the engine's live mappings (adversaries must
+        treat it as read-only); the informed/active snapshots come from
+        the incrementally maintained caches.
+        """
+        return AdversaryView(
             round_number=rnd,
-            network=network,
+            network=self.network,
             senders=senders,
             informed=self._informed_nodes(),
             active=self._active_nodes(),
             proc=self.proc_map,
         )
+
+    def _validated_deliveries(
+        self, view: AdversaryView, senders: Dict[int, Message]
+    ) -> Dict[int, FrozenSet[int]]:
+        """Phase 2 (choice): adversary-chosen unreliable deliveries.
+
+        Every returned target is checked to be a legal unreliable-only
+        out-neighbour of an actual sender.
+        """
         raw = self.adversary.choose_deliveries(view)
         deliveries: Dict[int, FrozenSet[int]] = {}
         for sender, targets in raw.items():
@@ -252,6 +277,17 @@ class BroadcastEngine:
                     f"for sender {sender}"
                 )
             deliveries[sender] = targets
+        return deliveries
+
+    def _step(self) -> RoundRecord:
+        self._round += 1
+        rnd = self._round
+        network = self.network
+        recording = self.config.record_receptions
+
+        senders = self._decide_senders(rnd)
+        view = self._adversary_view(rnd, senders)
+        deliveries = self._validated_deliveries(view, senders)
 
         # Phase 3: arrivals (only nodes actually reached get a list).
         arrivals: Dict[int, List[Message]] = {}
@@ -402,6 +438,34 @@ class BroadcastEngine:
         return len(self._informed_set) == self.network.n
 
 
+def build_engine(
+    network: DualGraph,
+    processes: Sequence[Process],
+    adversary: Optional[Adversary] = None,
+    config: Optional[EngineConfig] = None,
+    payload: object = "broadcast-message",
+) -> BroadcastEngine:
+    """Instantiate the engine selected by ``config.engine``.
+
+    ``"reference"`` yields :class:`BroadcastEngine`; ``"fast"`` yields
+    :class:`repro.sim.fast_engine.FastBroadcastEngine` (a subclass whose
+    traces are bit-identical — the two are interchangeable wherever an
+    engine is consumed).
+    """
+    config = config if config is not None else EngineConfig()
+    if config.engine == "reference":
+        return BroadcastEngine(network, processes, adversary, config, payload)
+    if config.engine == "fast":
+        from repro.sim.fast_engine import FastBroadcastEngine
+
+        return FastBroadcastEngine(
+            network, processes, adversary, config, payload
+        )
+    raise ValueError(
+        f"unknown engine {config.engine!r}; known: {list(ENGINE_NAMES)}"
+    )
+
+
 def run_broadcast(
     network: DualGraph,
     processes: Sequence[Process],
@@ -410,8 +474,9 @@ def run_broadcast(
 ) -> ExecutionTrace:
     """One-call convenience wrapper: build an engine and run it.
 
-    Keyword arguments are forwarded to :class:`EngineConfig`.
+    Keyword arguments are forwarded to :class:`EngineConfig`; pass
+    ``engine="fast"`` to select the bitmask engine.
     """
     config = EngineConfig(**config_kwargs)
-    engine = BroadcastEngine(network, processes, adversary, config)
+    engine = build_engine(network, processes, adversary, config)
     return engine.run()

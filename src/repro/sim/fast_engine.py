@@ -1,0 +1,342 @@
+"""Bitmask fast-path engine for sweep workloads.
+
+:class:`FastBroadcastEngine` executes the exact Section 2.1 round
+semantics of :class:`~repro.sim.engine.BroadcastEngine` — it is a
+drop-in subclass producing **bit-identical traces** (the differential
+harness in ``tests/test_fast_engine_equivalence.py`` asserts this seed
+for seed) — but resolves each round with Python-int set algebra instead
+of per-node message lists:
+
+* Node sets (active, reached, multiply-reached) are single Python ints
+  with bit ``v`` standing for node ``v``; adjacency is precompiled to a
+  per-node *self-plus-reliable-out* mask.
+* One pass over the senders computes, with two masks, which nodes were
+  reached at least once and which at least twice::
+
+      reached_multi |= reached_once & reach(sender)
+      reached_once  |= reach(sender)
+
+  Under CR1–CR3 the reception at every node is a pure function of
+  (sender?, arrival count 0/1/2+), so collisions and silence resolve by
+  popcount-style mask tests without ever materialising an arrival list;
+  only nodes with exactly one arrival need the actual
+  :class:`~repro.sim.messages.Message`.
+* Process classes that leave both ``deliver`` and ``on_reception`` at
+  the :class:`~repro.sim.process.Process` defaults observe non-message
+  receptions as provable no-ops, so the engine only visits *reached*
+  nodes each round instead of every active node.  Classes overriding
+  either hook (e.g. the gossip extension) are tracked in an observer
+  mask and keep the reference engine's full delivery discipline.
+* The per-message reference path is kept for the two places set algebra
+  cannot express: CR4 collisions at non-senders (the adversary must be
+  consulted with the full arrival list, reconstructed in the reference
+  engine's exact order) and payload-identity custody tracking (which
+  already operates on single delivered messages).
+
+Because the semantics are identical, the engines are interchangeable:
+:func:`repro.sim.engine.build_engine` dispatches on
+``EngineConfig.engine`` and the experiments layer
+(:func:`repro.experiments.runner.execute_task`) transparently selects
+the fast path whenever :func:`fast_engine_eligible` approves the
+collision-rule/adversary combination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.adversaries.base import Adversary
+from repro.sim.collision import CollisionRule, resolve_reception
+from repro.sim.engine import BroadcastEngine
+from repro.sim.messages import COLLISION, Message, Reception, SILENCE, received
+from repro.sim.process import Process, ProcessContext
+from repro.sim.trace import RoundRecord
+
+
+def fast_engine_eligible(
+    collision_rule: CollisionRule, adversary: Optional[Adversary] = None
+) -> bool:
+    """Whether the fast engine is the canonical choice for a combination.
+
+    CR1–CR3 resolutions are pure set algebra, so any algorithm/adversary
+    combination under them is eligible.  Under CR4 the adversary owns the
+    resolution at every multiply-reached non-sender; the fast engine then
+    has to rebuild full arrival lists per collision, so the sweep layer
+    routes CR4 to the reference engine **unless** the adversary leaves
+    :meth:`~repro.adversaries.base.Adversary.resolve_cr4` at the base
+    default (always silence), which the fast path resolves without
+    consultation.
+
+    Note this is a routing policy, not a correctness boundary:
+    :class:`FastBroadcastEngine` handles every combination, falling back
+    to the reference per-message path where needed.
+    """
+    if collision_rule is not CollisionRule.CR4:
+        return True
+    if adversary is None:
+        return True  # engine default is NoDeliveryAdversary (base resolve)
+    return type(adversary).resolve_cr4 is Adversary.resolve_cr4
+
+
+def _observes_non_messages(process: Process) -> bool:
+    """Whether silence/collision deliveries can affect this process.
+
+    ``Process.deliver`` mutates state only for message receptions and the
+    base ``on_reception`` is a no-op, so a process whose class overrides
+    neither hook provably ignores non-message receptions.
+    """
+    cls = type(process)
+    return (
+        cls.on_reception is not Process.on_reception
+        or cls.deliver is not Process.deliver
+    )
+
+
+class FastBroadcastEngine(BroadcastEngine):
+    """Bitmask drop-in for :class:`~repro.sim.engine.BroadcastEngine`.
+
+    Constructor signature, public API, trace output, process-state
+    evolution and adversary interaction are all identical to the
+    reference engine; only the internal per-round resolution differs.
+    See the module docstring for the algebra.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        network = self.network
+        bit = [1 << v for v in network.nodes]
+        self._bit: List[int] = bit
+        # Per-node reach mask: the sender itself plus its reliable
+        # out-neighbours ("its message reaches ... and v itself").
+        self._reach_mask: List[int] = [
+            bit[v] | sum(bit[u] for u in self._reliable_out_seq[v])
+            for v in network.nodes
+        ]
+        # Nodes whose process observes silence/collision: they keep the
+        # reference engine's every-round delivery discipline.
+        self._observer_mask = sum(
+            bit[v]
+            for v in network.nodes
+            if _observes_non_messages(self.process_at[v])
+        )
+        # Maintained by the _activate override; construction precedes
+        # _setup(), so no node is active yet.
+        self._active_mask = 0
+        # (node, process, context) for each active node, ascending node
+        # order; rebuilt lazily after activations.
+        self._triples: List[Tuple[int, Process, ProcessContext]] = []
+        self._triples_dirty = True
+        # CR4 with the base-class resolver is always silence; detected
+        # once so the hot loop never builds arrival lists for it.
+        self._cr4_default_silence = (
+            type(self.adversary).resolve_cr4 is Adversary.resolve_cr4
+        )
+
+    def _activate(self, node: int) -> None:
+        if node in self._active:
+            return
+        self._active_mask |= self._bit[node]
+        self._triples_dirty = True
+        super()._activate(node)
+
+    def _deliver(
+        self, node: int, process: Process, reception: Reception
+    ) -> None:
+        # Same semantics as the reference implementation, spelled with
+        # attribute tests instead of property calls (hot path).
+        msg = reception.message
+        if msg is not None and msg.payload != self.payload:
+            process.on_reception(self._contexts[node], reception)
+            return
+        process.deliver(self._contexts[node], reception)
+
+    def _carries_payload(self, reception: Reception) -> bool:
+        msg = reception.message
+        return msg is not None and msg.payload == self.payload
+
+    def _active_triples(self) -> List[Tuple[int, Process, ProcessContext]]:
+        if self._triples_dirty:
+            self._triples = [
+                (v, self.process_at[v], self._contexts[v])
+                for v in self._active_sorted
+            ]
+            self._triples_dirty = False
+        return self._triples
+
+    def _step(self) -> RoundRecord:
+        self._round += 1
+        rnd = self._round
+        network = self.network
+        recording = self.config.record_receptions
+        rule = self.config.collision_rule
+        bit = self._bit
+        reach_mask = self._reach_mask
+        contexts = self._contexts
+
+        # Phase 1: decisions.  Only active contexts advance here; a
+        # sleeping process's context is observed solely at wake-up, so
+        # its round counter is refreshed then (`wake` below).  Ascending
+        # node order gives `senders` the insertion order the reference
+        # engine guarantees.
+        senders: Dict[int, Message] = {}
+        for node, process, ctx in self._active_triples():
+            ctx.round_number = rnd
+            msg = process.decide_send(ctx)
+            if msg is not None:
+                senders[node] = msg
+
+        # Phase 2: adversary (shared with the reference engine).
+        view = self._adversary_view(rnd, senders)
+        deliveries = self._validated_deliveries(view, senders)
+
+        # Phase 3: arrival algebra.  After the pass, bit v of
+        # reached_once means "some message reached v" and bit v of
+        # reached_multi means "two or more messages reached v".
+        reached_once = 0
+        reached_multi = 0
+        sender_reach: Dict[int, int] = {}
+        for sender in senders:
+            m = reach_mask[sender]
+            targets = deliveries.get(sender)
+            if targets:
+                for t in targets:
+                    m |= bit[t]
+            sender_reach[sender] = m
+            reached_multi |= reached_once & m
+            reached_once |= m
+        single = reached_once & ~reached_multi
+
+        # Nodes with exactly one arrival are the only ones whose
+        # reception carries a Message; one shared Reception per sender
+        # serves all of that sender's unique receivers (receptions are
+        # immutable value objects, so sharing is observationally
+        # identical to the reference engine's fresh instances).
+        unique_rec: Dict[int, Reception] = {}
+        sender_rec: Dict[int, Reception] = {}
+        if single:
+            for sender, m in sender_reach.items():
+                hits = m & single
+                if not hits:
+                    continue
+                rec = received(senders[sender])
+                sender_rec[sender] = rec
+                while hits:
+                    low = hits & -hits
+                    unique_rec[low.bit_length() - 1] = rec
+                    hits ^= low
+
+        # Phase 4: resolution and delivery, ascending node order
+        # (matching the reference engine's candidate ordering).  Without
+        # recording, only reached nodes and active observers can change
+        # state: an unreached non-observer hears silence, which its
+        # process provably ignores.
+        def cr4(node: int, msgs: List[Message]) -> Optional[Message]:
+            return self.adversary.resolve_cr4(view, node, msgs)
+
+        receptions: Optional[Dict[int, Reception]] = (
+            {} if recording else None
+        )
+        newly_informed: List[int] = []
+        newly_active: List[int] = []
+        informed_round = self.trace.informed_round
+        process_at = self.process_at
+        deliver = self._deliver
+        sender_msg = senders.get
+        active_mask = self._active_mask
+        observer_mask = self._observer_mask
+        cr1 = rule is CollisionRule.CR1
+        collision_on_multi = rule.provides_collision_detection
+        silence_on_multi = rule is CollisionRule.CR3 or (
+            rule is CollisionRule.CR4 and self._cr4_default_silence
+        )
+
+        if recording:
+            pending = 0
+            candidates = iter(network.nodes)  # every reception is recorded
+        else:
+            pending = reached_once | (active_mask & observer_mask)
+            candidates = None
+
+        while True:
+            if candidates is not None:
+                node = next(candidates, None)
+                if node is None:
+                    break
+            else:
+                if not pending:
+                    break
+                low = pending & -pending
+                node = low.bit_length() - 1
+                pending ^= low
+
+            b = bit[node]
+            if not reached_once & b:
+                # Nothing reached the node (so it cannot have sent:
+                # senders always reach themselves) — silence under
+                # every collision rule.
+                reception = SILENCE
+            elif reached_multi & b:
+                own = sender_msg(node)
+                if own is not None:
+                    if cr1:
+                        reception = COLLISION
+                    else:
+                        reception = sender_rec.get(node)
+                        if reception is None:
+                            reception = received(own)
+                            sender_rec[node] = reception
+                elif collision_on_multi:  # CR1/CR2 non-sender
+                    reception = COLLISION
+                elif silence_on_multi:  # CR3, or CR4 default resolver
+                    reception = SILENCE
+                else:
+                    # CR4 with a real adversary resolver: rebuild the
+                    # arrival list in reference order (ascending sender
+                    # node) and defer to the shared resolution path.
+                    arrivals = [
+                        msg
+                        for s, msg in senders.items()
+                        if sender_reach[s] & b
+                    ]
+                    reception = resolve_reception(
+                        rule, node, False, None, arrivals, cr4_resolver=cr4
+                    )
+            else:
+                # Exactly one arrival: a lone sender hears itself (CR1's
+                # collision needs two arrivals), a non-sender receives
+                # the unique message.
+                reception = unique_rec[node]
+
+            if receptions is not None:
+                receptions[node] = reception
+            # `.message is not None` is the cheap attribute-level spelling
+            # of Reception.is_message (a MESSAGE reception always carries
+            # a message; the other kinds never do).
+            is_message = reception.message is not None
+            if not active_mask & b:
+                if is_message:
+                    contexts[node].round_number = rnd  # wake mid-round
+                    newly_active.append(node)
+                    self._activate(node)
+                else:
+                    continue  # sleeping processes observe nothing
+            elif not is_message and not observer_mask & b:
+                continue  # provably inert delivery
+            process = process_at[node]
+            was_informed = informed_round[node] is not None
+            deliver(node, process, reception)
+            if not was_informed and informed_round[node] is None:
+                if process.has_message and self._carries_payload(reception):
+                    self._mark_informed(node, rnd)
+                    newly_informed.append(node)
+
+        record = RoundRecord(
+            round_number=rnd,
+            senders=senders,
+            unreliable_deliveries=deliveries,
+            newly_informed=tuple(newly_informed),
+            newly_active=tuple(newly_active),
+            receptions=receptions,
+        )
+        self.trace.rounds.append(record)
+        return record

@@ -1,0 +1,303 @@
+"""Differential equivalence: FastBroadcastEngine vs BroadcastEngine.
+
+The fast engine's contract (docs/ARCHITECTURE.md) is that it is a
+drop-in replacement producing **bit-identical traces** for the same
+(network, processes, adversary, config, seed).  This harness runs both
+engines seed for seed across algorithms × graph families × collision
+rules and asserts full trace equality — round records, informed rounds,
+activation order, completion — plus the engine-neutrality guarantee at
+the sweep layer (same records regardless of the engines axis).
+"""
+
+import itertools
+
+import pytest
+
+from repro.adversaries import (
+    FullDeliveryAdversary,
+    GreedyInterferer,
+    NoDeliveryAdversary,
+    RandomDeliveryAdversary,
+)
+from repro.core.runner import broadcast, make_processes
+from repro.experiments import ExperimentSpec, SweepRunner
+from repro.experiments.registry import build_adversary, build_graph
+from repro.experiments.runner import execute_task
+from repro.extensions import run_gossip
+from repro.graphs import line
+from repro.sim import (
+    BroadcastEngine,
+    CollisionRule,
+    EngineConfig,
+    FastBroadcastEngine,
+    ScriptedProcess,
+    StartMode,
+    build_engine,
+    fast_engine_eligible,
+    validate_execution,
+)
+
+ALGORITHMS = ["round_robin", "harmonic", "strong_select"]
+GRAPHS = ["line", "gnp", "clique-bridge"]
+MASK_RULES = [CollisionRule.CR1, CollisionRule.CR2, CollisionRule.CR3]
+
+
+def assert_traces_identical(ref, fast):
+    """Field-by-field trace equality (Message/Reception compare by value)."""
+    assert ref.network_name == fast.network_name
+    assert ref.n == fast.n
+    assert ref.proc == fast.proc
+    assert ref.completed == fast.completed
+    assert ref.informed_round == fast.informed_round
+    assert len(ref.rounds) == len(fast.rounds)
+    for r, f in zip(ref.rounds, fast.rounds):
+        assert r == f, f"round {r.round_number} diverged"
+
+
+def run_both(algorithm, graph_kind, n, adversary_kind, rule, seed, **cfg):
+    traces = []
+    for engine in ("reference", "fast"):
+        graph = build_graph(graph_kind, n, seed=seed)
+        adversary = build_adversary(adversary_kind, seed=seed)
+        traces.append(
+            broadcast(
+                graph,
+                algorithm,
+                adversary=adversary,
+                seed=seed,
+                engine=engine,
+                collision_rule=rule,
+                **cfg,
+            )
+        )
+    return traces
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("graph_kind", GRAPHS)
+@pytest.mark.parametrize("rule", MASK_RULES)
+def test_differential_grid(algorithm, graph_kind, rule):
+    """3 algorithms × 3 graph families × CR1–CR3, several seeds each."""
+    for seed in (0, 1, 7):
+        ref, fast = run_both(
+            algorithm, graph_kind, 17, "greedy", rule, seed
+        )
+        assert_traces_identical(ref, fast)
+
+
+@pytest.mark.parametrize(
+    "adversary_kind", ["none", "full", "random", "greedy"]
+)
+def test_differential_cr4(adversary_kind):
+    """CR4 parity: default-silence fast path and the per-message
+    fallback (custom resolvers) both reproduce the reference traces."""
+    for seed in (0, 3):
+        ref, fast = run_both(
+            "harmonic", "gnp", 17, adversary_kind, CollisionRule.CR4, seed
+        )
+        assert_traces_identical(ref, fast)
+
+
+def test_differential_cr4_stateful_resolver():
+    """A resolver drawing randomness per consultation is consulted in
+    the same order with the same arrival lists by both engines."""
+    traces = []
+    for engine in ("reference", "fast"):
+        graph = build_graph("hard-line", 17, seed=5)
+        adversary = RandomDeliveryAdversary(0.6, seed=5, cr4_mode="random")
+        traces.append(
+            broadcast(
+                graph,
+                "harmonic",
+                adversary=adversary,
+                seed=5,
+                engine=engine,
+                collision_rule=CollisionRule.CR4,
+            )
+        )
+    assert_traces_identical(*traces)
+
+
+@pytest.mark.parametrize("rule", MASK_RULES + [CollisionRule.CR4])
+def test_differential_with_recorded_receptions(rule):
+    """Recording mode: per-node receptions match for every node."""
+    ref, fast = run_both(
+        "harmonic", "clique-bridge", 9, "greedy", rule, 2,
+        record_receptions=True,
+    )
+    assert_traces_identical(ref, fast)
+    for r, f in zip(ref.rounds, fast.rounds):
+        assert r.receptions == f.receptions
+
+
+def test_differential_synchronous_start():
+    ref, fast = run_both(
+        "strong_select", "gnp", 17, "greedy", CollisionRule.CR2, 4,
+        start_mode=StartMode.SYNCHRONOUS,
+    )
+    assert_traces_identical(ref, fast)
+
+
+def test_fast_trace_passes_independent_validation():
+    """The fast engine's recorded executions satisfy the Section 2.1
+    semantics checker (which shares no code with either engine)."""
+    for rule in MASK_RULES:
+        graph = build_graph("gnp", 17, seed=1)
+        trace = broadcast(
+            graph,
+            "harmonic",
+            adversary=GreedyInterferer(),
+            seed=1,
+            engine="fast",
+            collision_rule=rule,
+            record_receptions=True,
+        )
+        violations = validate_execution(
+            trace, graph, rule, StartMode.ASYNCHRONOUS
+        )
+        assert violations == []
+
+
+def test_payload_free_transmissions_match():
+    """ScriptedProcess None-payload messages (the Theorem-12 trick)
+    exercise the payload-identity fallback identically."""
+    n = 6
+    traces = []
+    for engine in ("reference", "fast"):
+        network = line(n)
+        processes = [
+            ScriptedProcess(
+                uid, send_rounds=range(1, 12), send_without_message=True
+            )
+            for uid in range(n)
+        ]
+        config = EngineConfig(
+            collision_rule=CollisionRule.CR1,
+            start_mode=StartMode.SYNCHRONOUS,
+            max_rounds=12,
+            engine=engine,
+        )
+        sim = build_engine(
+            network, processes, FullDeliveryAdversary(), config
+        )
+        traces.append(sim.run())
+    assert_traces_identical(*traces)
+
+
+def test_gossip_runs_on_fast_engine():
+    """Observer processes (gossip overrides on_reception) keep the full
+    delivery discipline and reach the same result."""
+    ref = run_gossip(line(9), seed=3)
+    fast = run_gossip(line(9), seed=3, engine="fast")
+    assert fast.completed and ref.completed
+    assert fast.rounds == ref.rounds
+    assert fast.rumor_counts == ref.rumor_counts
+
+
+# ----------------------------------------------------------------------
+# Selector plumbing
+# ----------------------------------------------------------------------
+def test_build_engine_dispatch():
+    network = line(5)
+    for name, cls in [
+        ("reference", BroadcastEngine),
+        ("fast", FastBroadcastEngine),
+    ]:
+        engine = build_engine(
+            network,
+            make_processes("round_robin", 5),
+            config=EngineConfig(engine=name),
+        )
+        assert type(engine) is cls
+    with pytest.raises(ValueError, match="unknown engine"):
+        build_engine(
+            network,
+            make_processes("round_robin", 5),
+            config=EngineConfig(engine="warp"),
+        )
+
+
+def test_fast_engine_eligibility():
+    for rule in MASK_RULES:
+        assert fast_engine_eligible(rule, GreedyInterferer())
+    # CR4 needs the base (always-silence) resolver.
+    assert fast_engine_eligible(CollisionRule.CR4, NoDeliveryAdversary())
+    assert fast_engine_eligible(CollisionRule.CR4, None)
+    assert not fast_engine_eligible(CollisionRule.CR4, GreedyInterferer())
+    assert not fast_engine_eligible(
+        CollisionRule.CR4, RandomDeliveryAdversary(0.5)
+    )
+
+
+def test_task_key_and_seed_engine_invariants():
+    spec = ExperimentSpec(
+        name="kv",
+        algorithms=["round_robin"],
+        graphs=[("line", 8)],
+        collision_rules=["CR3"],
+        engines=["reference", "fast"],
+        seeds=[0],
+    )
+    ref_task, fast_task = spec.tasks()
+    assert ref_task.engine == "reference"
+    assert fast_task.engine == "fast"
+    # Reference keys are unchanged from pre-engine sweeps (resume
+    # compatibility); fast keys are namespaced.
+    assert "eng-" not in ref_task.key
+    assert fast_task.key == f"{ref_task.key}/eng-fast"
+    # The seed is derived from the science key: engine-independent.
+    assert ref_task.science_key == fast_task.science_key
+    assert ref_task.derived_seed == fast_task.derived_seed
+
+
+def test_sweep_records_are_engine_neutral():
+    """engines=[reference, fast] yields pairwise-identical science."""
+    spec = ExperimentSpec(
+        name="neutral",
+        algorithms=["harmonic", "round_robin"],
+        graphs=[("line", 9), ("clique-bridge", 9)],
+        adversaries=["greedy"],
+        collision_rules=["CR2", "CR4"],
+        engines=["reference", "fast"],
+        seeds=[0, 1],
+    )
+    result = SweepRunner(spec).run()
+    by_key = {r.key: r for r in result.records}
+    fast_records = [r for r in result.records if "eng-fast" in r.key]
+    assert len(fast_records) == spec.size // 2
+    for fast_record in fast_records:
+        ref_record = by_key[fast_record.key.replace("/eng-fast", "")]
+        assert ref_record.completed == fast_record.completed
+        assert ref_record.completion_round == fast_record.completion_round
+        assert ref_record.rounds == fast_record.rounds
+        assert (
+            ref_record.total_transmissions
+            == fast_record.total_transmissions
+        )
+
+
+def test_execute_task_transparent_fallback():
+    """A fast-engine task ineligible under CR4 records the reference
+    engine; eligible combinations record the fast engine."""
+    spec = ExperimentSpec(
+        name="fallback",
+        algorithms=["round_robin"],
+        graphs=[("line", 8)],
+        adversaries=["greedy"],
+        collision_rules=["CR3", "CR4"],
+        engines=["fast"],
+        seeds=[0],
+    )
+    cr3_task, cr4_task = spec.tasks()
+    assert execute_task(cr3_task).engine == "fast"
+    assert execute_task(cr4_task).engine == "reference"
+
+
+def test_differential_bulk_cross_product():
+    """A broad shallow sweep: every (algorithm, graph, rule) cell of the
+    advertised support matrix at one seed."""
+    for algorithm, graph_kind, rule in itertools.product(
+        ALGORITHMS, GRAPHS, MASK_RULES
+    ):
+        ref, fast = run_both(algorithm, graph_kind, 9, "full", rule, 11)
+        assert_traces_identical(ref, fast)

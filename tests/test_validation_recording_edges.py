@@ -1,0 +1,164 @@
+"""Edge cases for trace validation and recording.
+
+Covers the corners the mainline suites skip: zero-round (empty) traces
+through serialisation, replay and validation; and the semantic checker
+run against executions produced by the bitmask fast engine (validation
+shares no code with either engine, so this is independent evidence for
+the engine contract).
+"""
+
+import pytest
+
+from repro.adversaries import NoDeliveryAdversary
+from repro.adversaries.scripted import ReplayAdversary
+from repro.core.runner import make_processes
+from repro.experiments.registry import build_adversary, build_graph
+from repro.graphs import line
+from repro.sim import (
+    CollisionRule,
+    EngineConfig,
+    StartMode,
+    build_engine,
+    trace_from_json,
+    trace_to_json,
+    validate_execution,
+)
+from repro.sim.process import SilentProcess
+
+
+def _empty_trace(engine_name="reference"):
+    """A completed execution with zero rounds: the one-node network is
+    fully informed before round 1 and ``max_rounds=0`` forbids stepping
+    (``run()`` otherwise executes one round before testing the stop
+    condition)."""
+    network = line(1)
+    sim = build_engine(
+        network,
+        [SilentProcess(0)],
+        config=EngineConfig(
+            engine=engine_name, record_receptions=True, max_rounds=0
+        ),
+    )
+    return sim.run(), network
+
+
+@pytest.mark.parametrize("engine_name", ["reference", "fast"])
+class TestEmptyTrace:
+    def test_runs_zero_rounds_and_completes(self, engine_name):
+        trace, _ = _empty_trace(engine_name)
+        assert trace.completed
+        assert trace.num_rounds == 0
+        assert trace.completion_round == 0
+        assert trace.informed_round == {0: 0}
+
+    def test_serialization_roundtrip(self, engine_name):
+        trace, _ = _empty_trace(engine_name)
+        clone = trace_from_json(trace_to_json(trace))
+        assert clone.rounds == []
+        assert clone.completed
+        assert clone.informed_round == trace.informed_round
+        assert clone.proc == dict(trace.proc)
+
+    def test_validates_clean(self, engine_name):
+        trace, network = _empty_trace(engine_name)
+        for rule in CollisionRule:
+            assert (
+                validate_execution(
+                    trace, network, rule, StartMode.ASYNCHRONOUS
+                )
+                == []
+            )
+
+    def test_replay_of_empty_trace(self, engine_name):
+        """Replaying a zero-round trace is a no-op execution, not an
+        error: the adversary simply has no recorded rounds to mimic."""
+        trace, network = _empty_trace(engine_name)
+        replayed = build_engine(
+            network,
+            [SilentProcess(0)],
+            ReplayAdversary(trace_from_json(trace_to_json(trace))),
+            EngineConfig(engine=engine_name, max_rounds=0),
+        ).run()
+        assert replayed.completed
+        assert replayed.num_rounds == 0
+
+
+class TestFastEngineTraceValidation:
+    @pytest.mark.parametrize(
+        "rule", [CollisionRule.CR1, CollisionRule.CR2, CollisionRule.CR3]
+    )
+    def test_fast_traces_validate_across_rules(self, rule):
+        graph = build_graph("clique-bridge", 9, seed=2)
+        sim = build_engine(
+            graph,
+            make_processes("harmonic", graph.n, T=2),
+            build_adversary("greedy"),
+            EngineConfig(
+                engine="fast",
+                collision_rule=rule,
+                record_receptions=True,
+                seed=2,
+                max_rounds=5000,
+            ),
+        )
+        trace = sim.run()
+        assert trace.completed
+        assert (
+            validate_execution(trace, graph, rule, StartMode.ASYNCHRONOUS)
+            == []
+        )
+
+    def test_fast_trace_survives_serialized_replay(self):
+        """Record on the fast engine, serialise, replay on the reference
+        engine: the replay reproduces the execution exactly."""
+        graph = build_graph("hard-line", 9, seed=4)
+        rule = CollisionRule.CR4
+        config = EngineConfig(
+            engine="fast",
+            collision_rule=rule,
+            record_receptions=True,
+            seed=4,
+        )
+        recorded = build_engine(
+            graph,
+            make_processes("round_robin", graph.n),
+            build_adversary("random", seed=4),
+            config,
+        ).run()
+        loaded = trace_from_json(trace_to_json(recorded))
+        replayed = build_engine(
+            graph,
+            make_processes("round_robin", graph.n),
+            ReplayAdversary(loaded),
+            EngineConfig(
+                engine="reference",
+                collision_rule=rule,
+                record_receptions=True,
+                seed=4,
+            ),
+        ).run()
+        assert replayed.informed_round == recorded.informed_round
+        assert [r.senders for r in replayed.rounds] == [
+            r.senders for r in recorded.rounds
+        ]
+        assert (
+            validate_execution(
+                replayed, graph, rule, StartMode.ASYNCHRONOUS
+            )
+            == []
+        )
+
+    def test_validation_flags_receptionless_fast_trace(self):
+        """Validation still demands recorded receptions, whichever
+        engine produced the trace."""
+        graph = build_graph("line", 5, seed=0)
+        trace = build_engine(
+            graph,
+            make_processes("round_robin", graph.n),
+            NoDeliveryAdversary(),
+            EngineConfig(engine="fast"),
+        ).run()
+        violations = validate_execution(
+            trace, graph, CollisionRule.CR4, StartMode.ASYNCHRONOUS
+        )
+        assert violations and "lacks recorded receptions" in violations[0]
