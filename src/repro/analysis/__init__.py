@@ -17,7 +17,13 @@ from repro.analysis.fitting import (
     growth_ratio_check,
 )
 from repro.analysis.plots import bars, scatter
-from repro.analysis.stats import Summary, quantile, seed_sweep, summarize
+from repro.analysis.stats import (
+    Summary,
+    quantile,
+    seed_sweep,
+    summarize,
+    t_critical_95,
+)
 from repro.analysis.tables import render_kv, render_table
 
 __all__ = [
@@ -39,5 +45,6 @@ __all__ = [
     "render_table",
     "seed_sweep",
     "summarize",
+    "t_critical_95",
     "wakeup_pattern_of",
 ]

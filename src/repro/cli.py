@@ -139,7 +139,10 @@ def cmd_sweep(args) -> int:
 
     try:
         runner = SweepRunner(
-            specs, workers=args.workers, results_path=args.results
+            specs,
+            workers=args.workers,
+            results_path=args.results,
+            batch=args.batch,
         )
         result = runner.run()
     except ValueError as exc:
@@ -147,6 +150,13 @@ def cmd_sweep(args) -> int:
         # task keys: user input problems, not crashes.
         raise SystemExit(str(exc))
 
+    if result.skipped_lines:
+        print(
+            f"warning: {args.results} held {result.skipped_lines} "
+            "unparsable line(s) (torn or foreign); their tasks were "
+            "re-run",
+            file=sys.stderr,
+        )
     for record in result.failures:
         print(
             f"warning: {record.key} hit the round cap", file=sys.stderr
@@ -300,6 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine for every task (overrides the spec "
         "file's engines axis); tasks whose combination is ineligible "
         "for the fast path silently use the reference engine",
+    )
+    sweep.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="group tasks by science cell so each worker builds the "
+        "cell's graph and compiled engine topology once and runs all "
+        "its seeds against them (--no-batch: per-task dispatch); "
+        "records are identical either way",
     )
     sweep.set_defaults(func=cmd_sweep)
 

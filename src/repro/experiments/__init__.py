@@ -27,23 +27,32 @@ from repro.experiments.registry import (
     build_adversary,
     build_graph,
     graph_kinds,
+    graph_seed_dependent,
     register_adversary,
     register_graph,
 )
 from repro.experiments.results import RunResult, SweepResult
-from repro.experiments.runner import SweepRunner, execute_task, run_sweep
+from repro.experiments.runner import (
+    SweepRunner,
+    execute_batch,
+    execute_task,
+    run_sweep,
+)
 from repro.experiments.spec import (
     AdversarySpec,
     AlgorithmSpec,
+    CellBatch,
     ExperimentSpec,
     GraphSpec,
     RunTask,
     load_specs,
+    plan_batches,
 )
 
 __all__ = [
     "AdversarySpec",
     "AlgorithmSpec",
+    "CellBatch",
     "ExperimentSpec",
     "GraphSpec",
     "RunResult",
@@ -53,9 +62,12 @@ __all__ = [
     "adversary_kinds",
     "build_adversary",
     "build_graph",
+    "execute_batch",
     "execute_task",
     "graph_kinds",
+    "graph_seed_dependent",
     "load_specs",
+    "plan_batches",
     "register_adversary",
     "register_graph",
     "run_sweep",

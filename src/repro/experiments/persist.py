@@ -5,6 +5,8 @@ each task finishes, so an interrupted sweep leaves a valid prefix on
 disk.  :func:`load_records` tolerates a torn final line (the signature
 of a hard kill mid-write) by skipping anything that does not parse —
 resuming then re-runs exactly the tasks whose records are missing.
+Skipped lines are counted (:class:`RecordMap.skipped <RecordMap>`), not
+silently dropped, so damaged results files are visible to callers.
 """
 
 from __future__ import annotations
@@ -16,14 +18,38 @@ from typing import Dict, TextIO
 from repro.experiments.results import RunResult
 
 
-def load_records(path: str) -> Dict[str, RunResult]:
+class RecordMap(Dict[str, RunResult]):
+    """A ``key → RunResult`` map that also reports load-time damage.
+
+    Behaves exactly like the plain dict :func:`load_records` used to
+    return (equality with plain dicts included), plus:
+
+    Attributes:
+        skipped: Number of non-empty lines that did not parse as
+            records — torn final lines from a hard kill mid-write, or
+            foreign/corrupt content — and were therefore dropped.
+            Their tasks will simply be re-run, but the count is
+            surfaced on :class:`~repro.experiments.results.SweepResult`
+            (and logged by the CLI) instead of being swallowed.
+    """
+
+    __slots__ = ("skipped",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        """Build the map; ``skipped`` starts at 0."""
+        super().__init__(*args, **kwargs)
+        self.skipped = 0
+
+
+def load_records(path: str) -> RecordMap:
     """Read a results file into a ``key → RunResult`` map.
 
-    Missing files yield an empty map; unparsable or incomplete lines are
-    skipped (an interrupted run's final line may be torn).  When a key
+    Missing files yield an empty map; unparsable or incomplete lines
+    are skipped (an interrupted run's final line may be torn) and
+    counted on the returned map's ``skipped`` attribute.  When a key
     appears twice the later record wins.
     """
-    records: Dict[str, RunResult] = {}
+    records = RecordMap()
     if not os.path.exists(path):
         return records
     with open(path, "r", encoding="utf-8") as f:
@@ -34,6 +60,7 @@ def load_records(path: str) -> Dict[str, RunResult]:
             try:
                 record = RunResult.from_dict(json.loads(line))
             except (ValueError, KeyError, TypeError):
+                records.skipped += 1
                 continue  # torn or foreign line — re-run that task
             records[record.key] = record
     return records

@@ -63,6 +63,12 @@ _GRAPHS: Dict[str, GraphFactory] = {
     "pivot-layers": lambda n, seed, **kw: pivot_layers_for_n(n).graph,
 }
 
+#: Graph kinds whose factory output depends on the ``seed`` argument.
+#: Cells over these kinds cannot share one graph across their seeds, so
+#: the batched sweep path rebuilds per seed (every other built-in kind
+#: ignores the seed and is safely shared).
+_SEED_DEPENDENT_GRAPHS = {"gnp", "gray-zone"}
+
 _ADVERSARIES: Dict[str, AdversaryFactory] = {
     "none": lambda seed, **kw: NoDeliveryAdversary(),
     "full": lambda seed, **kw: FullDeliveryAdversary(),
@@ -83,11 +89,31 @@ def adversary_kinds() -> List[str]:
     return sorted(_ADVERSARIES)
 
 
-def register_graph(kind: str, factory: GraphFactory) -> None:
-    """Register a graph factory ``factory(n, seed, **params)``."""
+def register_graph(
+    kind: str, factory: GraphFactory, seed_dependent: bool = True
+) -> None:
+    """Register a graph factory ``factory(n, seed, **params)``.
+
+    ``seed_dependent`` declares whether the factory's output varies
+    with the ``seed`` argument.  It defaults to ``True`` — the safe
+    choice, which makes batched sweeps rebuild the graph per seed —
+    and should be passed as ``False`` only for factories that ignore
+    the seed, unlocking per-cell graph/topology reuse.
+    """
     if kind in _GRAPHS:
         raise ValueError(f"graph kind {kind!r} already registered")
     _GRAPHS[kind] = factory
+    if seed_dependent:
+        _SEED_DEPENDENT_GRAPHS.add(kind)
+
+
+def graph_seed_dependent(kind: str) -> bool:
+    """Whether a graph kind's factory output depends on the task seed.
+
+    Unknown kinds report ``True`` (the safe answer; building them
+    fails loudly elsewhere).
+    """
+    return kind in _SEED_DEPENDENT_GRAPHS or kind not in _GRAPHS
 
 
 def register_adversary(kind: str, factory: AdversaryFactory) -> None:

@@ -119,12 +119,18 @@ class SweepResult:
         resumed: Tasks whose records were loaded from a results file.
         elapsed: Wall-clock seconds of this invocation (excluded from
             equality: two runs of the same spec compare equal).
+        skipped_lines: Torn or foreign lines the results file held that
+            did not parse as records and were dropped on load (their
+            tasks were re-run).  Bookkeeping like ``elapsed``, excluded
+            from equality; the CLI logs it so damaged results files
+            are visible instead of silently healed.
     """
 
     records: List[RunResult]
     executed: int = 0
     resumed: int = 0
     elapsed: float = field(default=0.0, compare=False)
+    skipped_lines: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         self.records = sorted(self.records, key=lambda r: r.key)

@@ -1,12 +1,18 @@
 """The sweep executor: fan a task grid out over worker processes.
 
-:func:`execute_task` is the per-task unit of work — a module-level
-function taking and returning picklable values, so a ``multiprocessing``
-pool can run it anywhere.  :class:`SweepRunner` expands one or more
+:func:`execute_task` is the per-task unit of work and
+:func:`execute_batch` the per-cell unit — module-level functions taking
+and returning picklable values, so a ``multiprocessing`` pool can run
+them anywhere.  :class:`SweepRunner` expands one or more
 :class:`~repro.experiments.spec.ExperimentSpec`\\ s, skips tasks whose
 records already sit in the results file (resume-by-key), and streams the
-remaining tasks through ``imap_unordered`` with a derived chunk size so
-per-task IPC overhead stays low on large grids.
+remaining work through ``imap_unordered``.  By default pending tasks are
+grouped into one :class:`~repro.experiments.spec.CellBatch` per science
+cell (every axis except the seed), so each worker builds the cell's
+graph, derives its round cap and compiles its engine topology
+(:class:`~repro.sim.fast_engine.CompiledTopology`) once, then runs the
+cell's seeds in a tight loop — amortising setup that otherwise dominates
+seeds-heavy cells (``benchmarks/bench_sweep.py`` measures the win).
 
 Invariants:
 
@@ -14,14 +20,29 @@ Invariants:
   key, and the final record list is key-sorted, so the same spec
   produces the identical
   :class:`~repro.experiments.results.SweepResult` records for any
-  worker count, chunking, engine choice, or resume history.
+  worker count, chunking, engine choice, batching mode, or resume
+  history.
+* **Batching is pure scheduling** — batched and per-task execution emit
+  byte-identical records: the per-seed loop inside a batch runs exactly
+  the :func:`execute_task` pipeline, with only graph/cap/topology
+  construction hoisted (and only when the cell's graph kind is
+  seed-independent per
+  :func:`~repro.experiments.registry.graph_seed_dependent`; ``gnp``-like
+  kinds rebuild per seed).  ``tests/test_batching.py`` asserts this.
 * **Durable resume** — with ``results_path`` set, each record is
-  appended (and flushed) as a JSON line the moment its task finishes,
-  so an interrupted sweep leaves a valid prefix.  The persistence layer
-  (:mod:`repro.experiments.persist`) heals a torn final line — the
-  signature of a hard kill mid-write — by skipping what does not parse
-  on load and starting the next append on a fresh line, so resuming
-  re-runs exactly the tasks whose records are missing.
+  appended (and flushed) as a JSON line the moment its result reaches
+  the parent process, so an interrupted sweep leaves a valid prefix.
+  *Resume* granularity stays per task under batching: pending tasks
+  are filtered by key before batches are planned, so whatever a kill
+  left on disk, re-running executes exactly the missing seeds.
+  *Durability* granularity is the dispatch unit — a batch's records
+  reach the parent together when the batch finishes, so a hard kill
+  forfeits (and the resume re-runs) the in-flight batches' completed
+  seeds, bounded by the batch-splitting cap in ``_plan_units``.  The
+  persistence layer (:mod:`repro.experiments.persist`) heals a torn
+  final line — the signature of a hard kill mid-write — by skipping
+  (and counting) what does not parse on load and starting the next
+  append on a fresh line.
 * **Transparent fast path** — a task whose spec requests
   ``engine="fast"`` runs on the bitmask engine only when
   :func:`repro.sim.fast_engine.fast_engine_eligible` approves its
@@ -34,7 +55,14 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core.runner import make_processes, suggested_round_limit
 from repro.experiments.persist import (
@@ -42,22 +70,45 @@ from repro.experiments.persist import (
     load_records,
     open_for_append,
 )
-from repro.experiments.registry import build_adversary, build_graph
+from repro.experiments.registry import (
+    build_adversary,
+    build_graph,
+    graph_seed_dependent,
+)
 from repro.experiments.results import RunResult, SweepResult
-from repro.experiments.spec import ExperimentSpec, RunTask
+from repro.experiments.spec import (
+    CellBatch,
+    ExperimentSpec,
+    RunTask,
+    plan_batches,
+)
+from repro.graphs.dualgraph import DualGraph
 from repro.sim.collision import CollisionRule
 from repro.sim.engine import EngineConfig, StartMode, build_engine
-from repro.sim.fast_engine import fast_engine_eligible
+from repro.sim.fast_engine import (
+    CompiledTopology,
+    compile_topology,
+    fast_engine_eligible,
+)
 
 #: Called after each finished task with (result, done_count, total).
 ProgressCallback = Callable[[RunResult, int, int], None]
 
 
-def execute_task(task: RunTask) -> RunResult:
-    """Run one grid cell and return its deterministic record."""
-    graph = build_graph(
-        task.graph_kind, task.n, seed=task.seed, **dict(task.graph_params)
-    )
+def _execute_on(
+    task: RunTask,
+    graph: DualGraph,
+    topology: Optional[CompiledTopology] = None,
+    default_cap: Optional[int] = None,
+) -> RunResult:
+    """Run one task against an already-built graph.
+
+    The shared tail of :func:`execute_task` and :func:`execute_batch`:
+    everything downstream of graph construction.  ``topology`` and
+    ``default_cap`` (the cell's derived round limit, used when the task
+    carries no explicit ``max_rounds``) are per-cell reusables the
+    batched path hands in; both default to per-task derivation.
+    """
     adversary = build_adversary(
         task.adversary_kind,
         seed=task.derived_seed,
@@ -68,7 +119,11 @@ def execute_task(task: RunTask) -> RunResult:
     )
     max_rounds = task.max_rounds
     if max_rounds is None:
-        max_rounds = suggested_round_limit(task.algorithm, graph)
+        max_rounds = (
+            default_cap
+            if default_cap is not None
+            else suggested_round_limit(task.algorithm, graph)
+        )
     rule = CollisionRule[task.collision_rule]
     engine_name = task.engine
     if engine_name == "fast" and not fast_engine_eligible(rule, adversary):
@@ -80,7 +135,9 @@ def execute_task(task: RunTask) -> RunResult:
         seed=task.derived_seed,
         engine=engine_name,
     )
-    engine = build_engine(graph, processes, adversary, config)
+    engine = build_engine(
+        graph, processes, adversary, config, topology=topology
+    )
     trace = engine.run()
     return RunResult(
         key=task.key,
@@ -101,6 +158,46 @@ def execute_task(task: RunTask) -> RunResult:
     )
 
 
+def execute_task(task: RunTask) -> RunResult:
+    """Run one grid cell seed and return its deterministic record."""
+    graph = build_graph(
+        task.graph_kind, task.n, seed=task.seed, **dict(task.graph_params)
+    )
+    return _execute_on(task, graph)
+
+
+def execute_batch(batch: CellBatch) -> List[RunResult]:
+    """Run one science cell's pending seeds with shared setup.
+
+    When the cell's graph kind is seed-independent
+    (:func:`~repro.experiments.registry.graph_seed_dependent`), the
+    graph is built, the round cap derived and the engine topology
+    compiled exactly once for the whole batch; seed-dependent kinds
+    (``gnp``, ``gray-zone``) rebuild all three per seed.  Each seed
+    then runs the unchanged :func:`execute_task` pipeline, so the
+    returned records are byte-identical to per-task execution.
+    """
+    share = not graph_seed_dependent(batch.tasks[0].graph_kind)
+    graph: Optional[DualGraph] = None
+    topology: Optional[CompiledTopology] = None
+    default_cap: Optional[int] = None
+    results: List[RunResult] = []
+    for task in batch.tasks:
+        if graph is None or not share:
+            graph = build_graph(
+                task.graph_kind,
+                task.n,
+                seed=task.seed,
+                **dict(task.graph_params),
+            )
+            topology = compile_topology(graph)
+            default_cap = None
+        if task.max_rounds is None and default_cap is None:
+            default_cap = suggested_round_limit(task.algorithm, graph)
+        results.append(_execute_on(task, graph, topology, default_cap))
+    return results
+
+
 class SweepRunner:
     """Run one or several specs as a single fanned-out sweep.
 
@@ -108,14 +205,24 @@ class SweepRunner:
         specs: One :class:`ExperimentSpec` or a sequence of them (their
             task keys must be disjoint; spec names namespace the keys).
         workers: Worker process count.  ``1`` runs in-process (no pool),
-            which is also the fallback when only one task is pending.
+            which is also the fallback when only one dispatch unit is
+            pending.
         results_path: Optional JSON-lines file.  Existing records are
             loaded and their tasks skipped; new records are appended as
             they finish, so interrupting and re-running resumes where
             the sweep stopped.
-        chunksize: Tasks per worker dispatch (default: derived so each
-            worker sees several chunks, balancing IPC overhead against
-            stragglers).
+        chunksize: Upper bound on dispatch units (tasks, or batches in
+            batched mode) per worker dispatch.  Default: derived so
+            each worker sees several chunks, balancing IPC overhead
+            against stragglers; always capped at the per-worker fair
+            share so a resumed sweep with few pending units spreads
+            across all workers instead of serialising into one chunk.
+        batch: Group pending tasks into one
+            :class:`~repro.experiments.spec.CellBatch` per science cell
+            (default), so workers amortise graph construction, round-cap
+            derivation and engine-topology compilation across the
+            cell's seeds.  ``False`` restores per-task dispatch; the
+            records are identical either way.
     """
 
     def __init__(
@@ -124,7 +231,9 @@ class SweepRunner:
         workers: int = 1,
         results_path: Optional[str] = None,
         chunksize: Optional[int] = None,
+        batch: bool = True,
     ) -> None:
+        """Validate the configuration and store it (see class docs)."""
         if isinstance(specs, ExperimentSpec):
             specs = [specs]
         self.specs: List[ExperimentSpec] = list(specs)
@@ -132,9 +241,12 @@ class SweepRunner:
             raise ValueError("need at least one spec")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.workers = workers
         self.results_path = results_path
         self.chunksize = chunksize
+        self.batch = batch
 
     def tasks(self) -> List[RunTask]:
         """The combined, ordered task list of all specs."""
@@ -158,8 +270,10 @@ class SweepRunner:
         started = time.perf_counter()
         tasks = self.tasks()
         done: Dict[str, RunResult] = {}
+        skipped_lines = 0
         if self.results_path:
             on_disk = load_records(self.results_path)
+            skipped_lines = on_disk.skipped
             done = {
                 t.key: on_disk[t.key] for t in tasks if t.key in on_disk
             }
@@ -188,18 +302,66 @@ class SweepRunner:
             executed=len(pending),
             resumed=len(done),
             elapsed=time.perf_counter() - started,
+            skipped_lines=skipped_lines,
         )
 
+    def _dispatch_chunksize(self, n_units: int) -> int:
+        """Dispatch units (tasks or batches) per pool chunk.
+
+        Derived to give each worker several chunks — large enough to
+        amortise pickling, small enough to keep stragglers short.  Both
+        the derived value and an explicit ``chunksize`` are capped at
+        the per-worker fair share, so a resumed sweep with only a few
+        pending units (e.g. 9 pending on 2 workers) still spreads
+        across every worker instead of collapsing into one oversized
+        chunk and serialising.
+        """
+        fair_share = max(1, n_units // self.workers)
+        if self.chunksize is not None:
+            return min(self.chunksize, fair_share)
+        return min(
+            max(1, n_units // (self.workers * 8)), fair_share
+        )
+
+    def _plan_units(self, pending: Sequence[RunTask]) -> List[CellBatch]:
+        """Plan the batched dispatch units for the pending tasks.
+
+        One batch per science cell, except that with a pool in play
+        oversized cells are split so the sweep always yields at least
+        ~2 dispatch units per worker: a single-cell hundred-seed sweep
+        must occupy every worker, not serialise into one batch.  Each
+        sub-batch re-runs the cell setup once, so amortisation is
+        preserved within sub-batches.
+        """
+        batches = plan_batches(pending)
+        if self.workers <= 1 or not pending:
+            return batches
+        # ceil-divide: the largest batch size that still yields at
+        # least workers * 2 units when cells alone are too few.
+        max_size = -(-len(pending) // (self.workers * 2))
+        return [
+            sub for batch in batches for sub in batch.split(max_size)
+        ]
+
     def _execute(self, pending: Sequence[RunTask]):
-        if self.workers == 1 or len(pending) <= 1:
-            for task in pending:
-                yield execute_task(task)
+        """Yield one :class:`RunResult` per pending task.
+
+        Results stream back in completion order (batched mode keeps a
+        sub-batch's seeds contiguous); :meth:`run` re-establishes the
+        canonical key order, so scheduling never leaks into results.
+        """
+        if self.batch:
+            units: Sequence = self._plan_units(pending)
+            run_unit = execute_batch
+        else:
+            units = list(pending)
+            run_unit = execute_task
+        if self.workers == 1 or len(units) <= 1:
+            for unit in units:
+                out = run_unit(unit)
+                yield from out if self.batch else (out,)
             return
-        chunksize = self.chunksize
-        if chunksize is None:
-            # Aim for ~8 chunks per worker: large enough to amortise
-            # pickling, small enough to keep stragglers short.
-            chunksize = max(1, len(pending) // (self.workers * 8))
+        chunksize = self._dispatch_chunksize(len(units))
         # Prefer fork so runtime register_graph/register_adversary
         # entries reach the workers; spawn platforms (macOS, Windows)
         # re-import the registries and only see module-level entries.
@@ -208,9 +370,10 @@ class SweepRunner:
             "fork" if "fork" in methods else None
         )
         with ctx.Pool(self.workers) as pool:
-            yield from pool.imap_unordered(
-                execute_task, pending, chunksize=chunksize
-            )
+            for out in pool.imap_unordered(
+                run_unit, units, chunksize=chunksize
+            ):
+                yield from out if self.batch else (out,)
 
 
 def run_sweep(
@@ -218,8 +381,9 @@ def run_sweep(
     workers: int = 1,
     results_path: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    batch: bool = True,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
-        specs, workers=workers, results_path=results_path
+        specs, workers=workers, results_path=results_path, batch=batch
     ).run(progress=progress)

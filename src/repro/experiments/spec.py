@@ -27,6 +27,13 @@ Invariants the rest of the subsystem builds on:
   cell produces the identical trace under either engine, a property
   ``tests/test_fast_engine_equivalence.py`` asserts.
 
+* **Cell grouping** — :attr:`RunTask.cell_key` names every axis
+  *except* the seed.  :func:`plan_batches` groups an ordered task list
+  into one :class:`CellBatch` per cell so the runner's batched path can
+  build each cell's graph and compiled engine topology once and run
+  all of its seeds against them; batching is pure scheduling and never
+  changes keys, seeds or records.
+
 Specs serialise to/from JSON (``to_dict`` / ``from_dict`` /
 :func:`load_specs`) so sweeps are reproducible from a committed file and
 shell history alone; the format is documented field by field in
@@ -38,7 +45,7 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.collision import CollisionRule
 from repro.sim.engine import ENGINE_NAMES, StartMode
@@ -132,13 +139,12 @@ class RunTask:
     max_rounds: Optional[int] = None
     engine: str = "reference"
 
-    @property
-    def science_key(self) -> str:
-        """The key of the *experiment inputs* only — engine excluded.
+    def _key_parts(self, with_seed: bool) -> List[str]:
+        """The shared key-segment list behind every key flavour.
 
-        Two tasks differing only in ``engine`` share a science key and
-        therefore a derived seed: the engine is an implementation
-        choice, proven trace-equivalent, and must not change results.
+        One builder keeps :attr:`science_key`, :attr:`key` and
+        :attr:`cell_key` from drifting apart when a grid axis is added:
+        a new axis lands in all of them (or in none) by construction.
         """
         parts = [
             self.sweep,
@@ -148,11 +154,22 @@ class RunTask:
             f"{self.adversary_kind}"
             f"{_fmt_params(self.adversary_params)}",
             f"{self.collision_rule}-{self.start_mode}",
-            f"s{self.seed}",
         ]
+        if with_seed:
+            parts.append(f"s{self.seed}")
         if self.max_rounds is not None:
             parts.append(f"cap{self.max_rounds}")
-        return "/".join(parts)
+        return parts
+
+    @property
+    def science_key(self) -> str:
+        """The key of the *experiment inputs* only — engine excluded.
+
+        Two tasks differing only in ``engine`` share a science key and
+        therefore a derived seed: the engine is an implementation
+        choice, proven trace-equivalent, and must not change results.
+        """
+        return "/".join(self._key_parts(with_seed=True))
 
     @property
     def key(self) -> str:
@@ -170,6 +187,23 @@ class RunTask:
         return key
 
     @property
+    def cell_key(self) -> str:
+        """The task's *science cell*: every key input except the seed.
+
+        Tasks sharing a cell key differ only in their sweep seed, so a
+        worker can build the cell's graph, round cap and compiled
+        engine topology once and run all of the cell's seeds against
+        them (:func:`plan_batches` /
+        :func:`repro.experiments.runner.execute_batch`).  This is a
+        grouping handle only — persistence and resume stay keyed by
+        the per-seed :attr:`key`.
+        """
+        parts = self._key_parts(with_seed=False)
+        if self.engine != "reference":
+            parts.append(f"eng-{self.engine}")
+        return "/".join(parts)
+
+    @property
     def derived_seed(self) -> int:
         """Engine seed derived from the task's science key.
 
@@ -180,6 +214,71 @@ class RunTask:
         and hence the run — independent of the engine choice.
         """
         return zlib.crc32(self.science_key.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class CellBatch:
+    """All pending tasks of one science cell, dispatched as one unit.
+
+    The tasks share every grid axis except the seed (validated at
+    construction), in their original spec order.  A batch is a frozen
+    tuple of primitives like the tasks themselves, so it pickles
+    cheaply to ``multiprocessing`` workers, where
+    :func:`repro.experiments.runner.execute_batch` builds the cell's
+    shared setup once and runs the seed loop against it.
+    """
+
+    tasks: Tuple[RunTask, ...]
+
+    def __post_init__(self) -> None:
+        """Freeze the task tuple and reject mixed-cell batches."""
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        if not self.tasks:
+            raise ValueError("a batch needs at least one task")
+        cells = {t.cell_key for t in self.tasks}
+        if len(cells) != 1:
+            raise ValueError(
+                f"batch mixes science cells: {sorted(cells)}"
+            )
+
+    @property
+    def cell_key(self) -> str:
+        """The science cell shared by every task in the batch."""
+        return self.tasks[0].cell_key
+
+    def split(self, max_size: int) -> List["CellBatch"]:
+        """Chop the batch into sub-batches of at most ``max_size`` tasks.
+
+        A sweep with fewer cells than workers would otherwise collapse
+        onto too few dispatch units and serialise; sub-batches trade a
+        few repeated per-cell setups for full worker occupancy (each
+        sub-batch still amortises setup over its own seeds).  Task
+        order is preserved across the returned batches.
+        """
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        return [
+            CellBatch(self.tasks[i:i + max_size])
+            for i in range(0, len(self.tasks), max_size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def plan_batches(tasks: Sequence[RunTask]) -> List[CellBatch]:
+    """Group an ordered task list into one :class:`CellBatch` per cell.
+
+    Batches appear in the order their cells first appear in ``tasks``,
+    and each batch keeps its tasks in input order — so for a freshly
+    expanded spec every batch is the cell's seed axis in seed order,
+    while a resumed sweep yields batches holding only the missing
+    seeds.
+    """
+    groups: Dict[str, List[RunTask]] = {}
+    for task in tasks:
+        groups.setdefault(task.cell_key, []).append(task)
+    return [CellBatch(tuple(group)) for group in groups.values()]
 
 
 def _coerce_algorithm(entry) -> AlgorithmSpec:

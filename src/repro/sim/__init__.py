@@ -9,7 +9,12 @@ from repro.sim.engine import (
     build_engine,
     run_broadcast,
 )
-from repro.sim.fast_engine import FastBroadcastEngine, fast_engine_eligible
+from repro.sim.fast_engine import (
+    CompiledTopology,
+    FastBroadcastEngine,
+    compile_topology,
+    fast_engine_eligible,
+)
 from repro.sim.messages import (
     COLLISION,
     Message,
@@ -37,6 +42,7 @@ __all__ = [
     "BroadcastEngine",
     "COLLISION",
     "CollisionRule",
+    "CompiledTopology",
     "ENGINE_NAMES",
     "EngineConfig",
     "ExecutionTrace",
@@ -52,6 +58,7 @@ __all__ = [
     "SilentProcess",
     "StartMode",
     "build_engine",
+    "compile_topology",
     "fast_engine_eligible",
     "load_trace",
     "received",

@@ -30,7 +30,17 @@ import enum
 import random
 from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    TYPE_CHECKING,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.sim.fast_engine import CompiledTopology
 
 from repro.adversaries.base import Adversary, AdversaryView, NoDeliveryAdversary
 from repro.graphs.dualgraph import DualGraph
@@ -98,6 +108,13 @@ class BroadcastEngine:
         config: Execution parameters.
         payload: The broadcast content handed to the source before round 1
             (must not be ``None``).
+        topology: Optional pre-compiled
+            :class:`~repro.sim.fast_engine.CompiledTopology` for
+            ``network``.  When given, the engine reuses its adjacency
+            sequences (and, in the fast engine, its bitmasks) instead of
+            re-deriving them — the batched sweep path compiles one
+            topology per science cell and shares it across every seed.
+            Must have been compiled from this exact ``network`` object.
     """
 
     def __init__(
@@ -107,9 +124,14 @@ class BroadcastEngine:
         adversary: Optional[Adversary] = None,
         config: Optional[EngineConfig] = None,
         payload: object = "broadcast-message",
+        topology: Optional["CompiledTopology"] = None,
     ) -> None:
         if payload is None:
             raise ValueError("broadcast payload must not be None")
+        if topology is not None and topology.graph is not network:
+            raise ValueError(
+                "topology was compiled for a different graph object"
+            )
         uids = [p.uid for p in processes]
         if len(set(uids)) != len(uids):
             raise ValueError("process uids must be distinct")
@@ -155,12 +177,22 @@ class BroadcastEngine:
 
         # Hot-path precomputation: the per-round loops index these flat
         # sequences instead of going through DualGraph accessor calls.
-        self._reliable_out_seq: List[tuple] = [
-            tuple(sorted(network.reliable_out(v))) for v in network.nodes
-        ]
-        self._unreliable_only_seq: List[FrozenSet[int]] = [
-            network.unreliable_only_out(v) for v in network.nodes
-        ]
+        # A shared CompiledTopology already holds them (one derivation
+        # per sweep cell instead of one per engine).
+        self._topology = topology
+        if topology is not None:
+            self._reliable_out_seq: List[tuple] = topology.reliable_out_seq
+            self._unreliable_only_seq: List[FrozenSet[int]] = (
+                topology.unreliable_only_seq
+            )
+        else:
+            self._reliable_out_seq = [
+                tuple(sorted(network.reliable_out(v)))
+                for v in network.nodes
+            ]
+            self._unreliable_only_seq = [
+                network.unreliable_only_out(v) for v in network.nodes
+            ]
         self._context_seq: List[ProcessContext] = [
             self._contexts[v] for v in network.nodes
         ]
@@ -444,22 +476,29 @@ def build_engine(
     adversary: Optional[Adversary] = None,
     config: Optional[EngineConfig] = None,
     payload: object = "broadcast-message",
+    topology: Optional["CompiledTopology"] = None,
 ) -> BroadcastEngine:
     """Instantiate the engine selected by ``config.engine``.
 
     ``"reference"`` yields :class:`BroadcastEngine`; ``"fast"`` yields
     :class:`repro.sim.fast_engine.FastBroadcastEngine` (a subclass whose
     traces are bit-identical — the two are interchangeable wherever an
-    engine is consumed).
+    engine is consumed).  ``topology`` optionally shares one
+    pre-compiled :class:`~repro.sim.fast_engine.CompiledTopology`
+    across engines built on the same graph.
     """
     config = config if config is not None else EngineConfig()
     if config.engine == "reference":
-        return BroadcastEngine(network, processes, adversary, config, payload)
+        return BroadcastEngine(
+            network, processes, adversary, config, payload,
+            topology=topology,
+        )
     if config.engine == "fast":
         from repro.sim.fast_engine import FastBroadcastEngine
 
         return FastBroadcastEngine(
-            network, processes, adversary, config, payload
+            network, processes, adversary, config, payload,
+            topology=topology,
         )
     raise ValueError(
         f"unknown engine {config.engine!r}; known: {list(ENGINE_NAMES)}"

@@ -43,14 +43,70 @@ collision-rule/adversary combination.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.adversaries.base import Adversary
+from repro.graphs.dualgraph import DualGraph
 from repro.sim.collision import CollisionRule, resolve_reception
 from repro.sim.engine import BroadcastEngine
 from repro.sim.messages import COLLISION, Message, Reception, SILENCE, received
 from repro.sim.process import Process, ProcessContext
 from repro.sim.trace import RoundRecord
+
+
+class CompiledTopology:
+    """Reusable per-graph precompilation shared by both engines.
+
+    Everything an engine derives from the :class:`DualGraph` alone —
+    the reference engine's flat adjacency sequences and the fast
+    engine's per-node bit and reach masks — is hoisted here, so a sweep
+    cell that runs many seeds on the same graph pays the derivation
+    once (:func:`repro.experiments.runner.execute_batch`) instead of
+    once per engine construction.
+
+    Instances are immutable after construction and engines only read
+    them, so one compiled topology is safe to share across any number
+    of sequential engine instances.  A topology is bound to the graph
+    object it was compiled from; the engines reject a mismatched pair.
+
+    Attributes:
+        graph: The dual graph this topology was compiled from.
+        reliable_out_seq: Per-node sorted tuple of reliable
+            out-neighbours (indexed by node).
+        unreliable_only_seq: Per-node frozenset of unreliable-only
+            out-neighbours (indexed by node).
+        bit: Per-node single-bit mask ``1 << v``.
+        reach_mask: Per-node self-plus-reliable-out bitmask — who a
+            transmission from ``v`` is guaranteed to reach.
+    """
+
+    __slots__ = (
+        "graph",
+        "reliable_out_seq",
+        "unreliable_only_seq",
+        "bit",
+        "reach_mask",
+    )
+
+    def __init__(self, graph: DualGraph) -> None:
+        self.graph = graph
+        self.reliable_out_seq: List[tuple] = [
+            tuple(sorted(graph.reliable_out(v))) for v in graph.nodes
+        ]
+        self.unreliable_only_seq: List[FrozenSet[int]] = [
+            graph.unreliable_only_out(v) for v in graph.nodes
+        ]
+        bit = [1 << v for v in graph.nodes]
+        self.bit: List[int] = bit
+        self.reach_mask: List[int] = [
+            bit[v] | sum(bit[u] for u in self.reliable_out_seq[v])
+            for v in graph.nodes
+        ]
+
+
+def compile_topology(graph: DualGraph) -> CompiledTopology:
+    """Precompile a graph's engine structures for reuse across runs."""
+    return CompiledTopology(graph)
 
 
 def fast_engine_eligible(
@@ -104,14 +160,20 @@ class FastBroadcastEngine(BroadcastEngine):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         network = self.network
-        bit = [1 << v for v in network.nodes]
-        self._bit: List[int] = bit
-        # Per-node reach mask: the sender itself plus its reliable
-        # out-neighbours ("its message reaches ... and v itself").
-        self._reach_mask: List[int] = [
-            bit[v] | sum(bit[u] for u in self._reliable_out_seq[v])
-            for v in network.nodes
-        ]
+        topology = self._topology
+        if topology is not None:
+            bit = topology.bit
+            self._bit: List[int] = bit
+            self._reach_mask: List[int] = topology.reach_mask
+        else:
+            bit = [1 << v for v in network.nodes]
+            self._bit = bit
+            # Per-node reach mask: the sender itself plus its reliable
+            # out-neighbours ("its message reaches ... and v itself").
+            self._reach_mask = [
+                bit[v] | sum(bit[u] for u in self._reliable_out_seq[v])
+                for v in network.nodes
+            ]
         # Nodes whose process observes silence/collision: they keep the
         # reference engine's every-round delivery discipline.
         self._observer_mask = sum(

@@ -37,6 +37,36 @@ class TestSummaries:
         assert s.stdev == 0.0
         assert s.ci95_half_width == 0.0
 
+    def test_ci_uses_student_t_for_small_samples(self):
+        # 5 observations -> df = 4 -> t = 2.776, not the normal 1.96
+        # (the z value under-reports small-sample uncertainty by ~40%).
+        s = summarize([1, 2, 3, 4, 5])
+        import math
+        assert s.ci95_half_width == pytest.approx(
+            2.776 * s.stdev / math.sqrt(5)
+        )
+        assert s.ci95_half_width > 1.96 * s.stdev / math.sqrt(5)
+
+    def test_ci_falls_back_to_normal_for_large_samples(self):
+        import math
+        data = list(range(100))
+        s = summarize(data)
+        assert s.ci95_half_width == pytest.approx(
+            1.96 * s.stdev / math.sqrt(len(data))
+        )
+
+    def test_t_critical_values(self):
+        from repro.analysis import t_critical_95
+
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        assert t_critical_95(31) == 1.96
+        # Monotone decreasing towards the normal limit.
+        values = [t_critical_95(df) for df in range(1, 40)]
+        assert values == sorted(values, reverse=True)
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
     def test_summarize_empty_raises(self):
         with pytest.raises(ValueError):
             summarize([])

@@ -127,6 +127,56 @@ class TestSweep:
         second = capsys.readouterr().out
         assert "0 run, 3 resumed" in second
 
+    def test_sweep_no_batch_resumes_batched_results(
+        self, capsys, tmp_path
+    ):
+        """--batch and --no-batch share one results file seamlessly."""
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "name": "cli-batch",
+                    "algorithms": ["round_robin"],
+                    "graphs": [{"kind": "line", "n": 6}],
+                    "seeds": [0, 1, 2],
+                }
+            )
+        )
+        results = tmp_path / "results.jsonl"
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--batch",
+             "--results", str(results)]
+        ) == 0
+        assert "3 run, 0 resumed" in capsys.readouterr().out
+
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--no-batch",
+             "--results", str(results)]
+        ) == 0
+        assert "0 run, 3 resumed" in capsys.readouterr().out
+
+    def test_sweep_warns_about_unparsable_result_lines(
+        self, capsys, tmp_path
+    ):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "name": "cli-skip",
+                    "algorithms": ["round_robin"],
+                    "graphs": [{"kind": "line", "n": 6}],
+                    "seeds": [0],
+                }
+            )
+        )
+        results = tmp_path / "results.jsonl"
+        results.write_text('{"key": "torn-fragm\nnot json either\n')
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--results", str(results)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "2 unparsable line(s)" in err
+
     def test_sweep_missing_spec_file_rejected(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot load spec"):
             main(["sweep", "--spec", str(tmp_path / "absent.json")])

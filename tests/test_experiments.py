@@ -224,7 +224,31 @@ class TestSweepRunner:
         assert not retried.failures
 
     def test_load_records_missing_file(self, tmp_path):
-        assert load_records(str(tmp_path / "absent.jsonl")) == {}
+        loaded = load_records(str(tmp_path / "absent.jsonl"))
+        assert loaded == {}
+        assert loaded.skipped == 0
+
+    def test_load_records_counts_torn_and_foreign_lines(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "results.jsonl"
+        run_sweep(spec, results_path=str(path))
+
+        lines = path.read_text().splitlines()
+        damaged = (
+            "\n".join(lines[:-1])
+            + "\nnot json at all\n"
+            + '{"foreign": "document"}\n'
+            + lines[-1][:12]
+        )
+        path.write_text(damaged)
+
+        loaded = load_records(str(path))
+        assert len(loaded) == spec.size - 1  # the torn record is gone
+        assert loaded.skipped == 3
+
+        resumed = run_sweep(spec, results_path=str(path))
+        assert resumed.skipped_lines == 3
+        assert resumed.executed == 1
 
     def test_progress_callback_sees_every_task(self):
         seen = []
