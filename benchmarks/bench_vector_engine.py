@@ -1,0 +1,133 @@
+"""Experiment VECTOR-ENGINE — seeds-throughput of the lockstep backend.
+
+Measures :func:`repro.sim.vector_engine.run_lockstep` (through the
+batched sweep path, :func:`repro.experiments.runner.execute_batch`)
+against the reference and fast engines on whole science cells — the
+unit the paper's Monte-Carlo experiments actually dispatch.  The
+headline claim is the cell-throughput win over the **reference**
+engine on round-heavy sparse workloads (asserted with a loose margin
+for the small shared CI box).
+
+The table deliberately includes a dense-sender row where the lockstep
+backend can *lose* to the per-seed engines: interleaving every seed's
+processes and Mersenne-Twister states each round trades cache locality
+for matrix algebra, and on decide-dominated workloads that trade goes
+against it (the fast engine's row documents exactly this — no silent
+cherry-picking).  Every row also cross-checks the science: identical
+per-seed completion rounds across all three engines.
+"""
+
+import gc
+import time
+
+from repro.analysis import render_table
+from repro.experiments import ExperimentSpec
+from repro.experiments.runner import execute_batch
+from repro.experiments.spec import plan_batches
+
+HEADLINE = "sparse round-robin (headline)"
+
+#: (label, algorithm, graph kind, n, rule, seeds, reps).  The headline
+#: is the round-heavy sparse cell where per-round engine machinery —
+#: not process decisions — dominates the reference engine; the
+#: dense-sender harmonic row is the honest anti-headline.
+WORKLOADS = [
+    (HEADLINE, "round_robin", "line", 200, "CR3", 24, 3),
+    ("strong-select gnp", "strong_select", "gnp", 200, "CR3", 12, 2),
+    ("dense harmonic (anti-headline)", "harmonic", "line", 200, "CR3",
+     12, 2),
+]
+
+ENGINES = ("reference", "fast", "vector")
+
+
+def _run_cell(engine, algorithm, graph_kind, n, rule, seeds):
+    spec = ExperimentSpec(
+        name="bench-vector",
+        algorithms=[algorithm],
+        graphs=[(graph_kind, n)],
+        adversaries=["none"],
+        collision_rules=[rule],
+        engines=[engine],
+        seeds=range(seeds),
+    )
+    (batch,) = plan_batches(spec.tasks())
+    gc.collect()  # stabilise: no inherited garbage in the timed region
+    started = time.perf_counter()
+    records = execute_batch(batch)
+    return time.perf_counter() - started, records
+
+
+def run_comparison():
+    rows = []
+    measured = {}
+    for (label, algorithm, graph_kind, n, rule, seeds,
+         reps) in WORKLOADS:
+        times = {engine: [] for engine in ENGINES}
+        science = {}
+        for _ in range(reps):
+            # Alternate engines within each rep so drift on a shared
+            # box hits every side equally.
+            for engine in ENGINES:
+                elapsed, records = _run_cell(
+                    engine, algorithm, graph_kind, n, rule, seeds
+                )
+                times[engine].append(elapsed)
+                science[engine] = [
+                    r.completion_round for r in records
+                ]
+        best = {engine: min(times[engine]) for engine in ENGINES}
+        measured[label] = (best, science)
+        rows.append(
+            [
+                label,
+                f"{algorithm}/{graph_kind} n={n} {rule}",
+                seeds,
+                f"{seeds / best['reference']:.1f}",
+                f"{seeds / best['fast']:.1f}",
+                f"{seeds / best['vector']:.1f}",
+                f"{best['reference'] / best['vector']:.2f}x",
+                f"{best['fast'] / best['vector']:.2f}x",
+            ]
+        )
+    return rows, measured
+
+
+def test_vector_engine_seed_throughput(benchmark, table_out):
+    rows, measured = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    table_out(
+        render_table(
+            [
+                "workload",
+                "cell",
+                "seeds",
+                "ref seeds/s",
+                "fast seeds/s",
+                "vector seeds/s",
+                "vs reference",
+                "vs fast",
+            ],
+            rows,
+            title="Vector lockstep engine: cell throughput "
+            "(best-of per row, via execute_batch)",
+        )
+    )
+    # Same science on every workload: identical per-seed completions.
+    for label, (_, science) in measured.items():
+        assert science["vector"] == science["reference"], label
+        assert science["fast"] == science["reference"], label
+    # The headline claim vs the reference engine, with a loose margin
+    # for the small shared 2-core CI box (typically ≥1.3x when idle).
+    best, _ = measured[HEADLINE]
+    headline = best["reference"] / best["vector"]
+    assert headline >= 1.1, (
+        f"headline vector speedup regressed: {headline:.2f}x"
+    )
+    # Honesty floor everywhere: the lockstep backend may trail the
+    # fast engine on decide-dominated cells (cache locality), but must
+    # never be pathologically slower than it.
+    for label, (best, _) in measured.items():
+        ratio = best["fast"] / best["vector"]
+        assert ratio >= 0.35, f"{label} collapsed vs fast: {ratio:.2f}x"

@@ -274,8 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-rounds", type=int, default=None)
     run.add_argument(
         "--engine", choices=list(ENGINE_NAMES), default="reference",
-        help="execution engine (fast = bitmask fast path; identical "
-        "traces)",
+        help="execution engine (fast = bitmask fast path, vector = "
+        "NumPy lockstep; identical traces)",
     )
     run.add_argument("--json", action="store_true")
     run.set_defaults(func=cmd_run)
@@ -308,8 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engine", choices=list(ENGINE_NAMES), default=None,
         help="execution engine for every task (overrides the spec "
-        "file's engines axis); tasks whose combination is ineligible "
-        "for the fast path silently use the reference engine",
+        "file's engines axis); vector runs each science cell's whole "
+        "seed list in NumPy lockstep, and tasks whose combination is "
+        "ineligible for a mask engine silently use the reference "
+        "engine",
     )
     sweep.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=True,

@@ -43,12 +43,16 @@ Invariants:
   final line — the signature of a hard kill mid-write — by skipping
   (and counting) what does not parse on load and starting the next
   append on a fresh line.
-* **Transparent fast path** — a task whose spec requests
-  ``engine="fast"`` runs on the bitmask engine only when
-  :func:`repro.sim.fast_engine.fast_engine_eligible` approves its
+* **Transparent fast paths** — a task whose spec requests
+  ``engine="fast"`` or ``engine="vector"`` runs on that engine only
+  when the shared eligibility truth table
+  (:func:`repro.sim.fast_engine.mask_engine_eligible`) approves its
   collision-rule/adversary combination, and silently downgrades to the
   reference engine otherwise; either way the trace, and therefore the
   record, is the same (the engines are proven trace-equivalent).
+  Eligible vector cells additionally run their whole seed list through
+  one :func:`repro.sim.vector_engine.run_lockstep` call instead of a
+  per-seed loop — pure scheduling, same records.
 """
 
 from __future__ import annotations
@@ -90,9 +94,18 @@ from repro.sim.fast_engine import (
     compile_topology,
     fast_engine_eligible,
 )
+from repro.sim.trace import ExecutionTrace
+
+# repro.sim.vector_engine is imported lazily inside the functions that
+# need it: importing it pulls in NumPy, which reference/fast-only
+# sweeps (and every pool worker they spawn) should never pay for.
 
 #: Called after each finished task with (result, done_count, total).
 ProgressCallback = Callable[[RunResult, int, int], None]
+
+#: Max lanes per :func:`repro.sim.vector_engine.run_lockstep` call in
+#: the batched vector path (see `_execute_batch_lockstep`).
+_LOCKSTEP_LANES = 32
 
 
 def _execute_on(
@@ -125,9 +138,7 @@ def _execute_on(
             else suggested_round_limit(task.algorithm, graph)
         )
     rule = CollisionRule[task.collision_rule]
-    engine_name = task.engine
-    if engine_name == "fast" and not fast_engine_eligible(rule, adversary):
-        engine_name = "reference"  # transparent: traces are identical
+    engine_name = _route_engine(task.engine, rule, adversary)
     config = EngineConfig(
         collision_rule=rule,
         start_mode=StartMode(task.start_mode),
@@ -138,7 +149,36 @@ def _execute_on(
     engine = build_engine(
         graph, processes, adversary, config, topology=topology
     )
-    trace = engine.run()
+    return _result_from(task, graph, engine.run(), engine_name)
+
+
+def _route_engine(engine_name: str, rule, adversary) -> str:
+    """Downgrade ineligible mask-engine requests to the reference engine.
+
+    Transparent by construction: the engines are proven
+    trace-equivalent, so the record is the same either way (only its
+    ``engine`` field tells which implementation ran).  Eligibility is
+    the shared truth table of
+    :func:`repro.sim.fast_engine.mask_engine_eligible`; the vector gate
+    additionally requires NumPy.
+    """
+    if engine_name == "fast" and not fast_engine_eligible(rule, adversary):
+        return "reference"
+    if engine_name == "vector":
+        from repro.sim.vector_engine import vector_engine_eligible
+
+        if not vector_engine_eligible(rule, adversary):
+            return "reference"
+    return engine_name
+
+
+def _result_from(
+    task: RunTask,
+    graph: DualGraph,
+    trace: ExecutionTrace,
+    engine_name: str,
+) -> RunResult:
+    """Fold one finished trace into the task's deterministic record."""
     return RunResult(
         key=task.key,
         sweep=task.sweep,
@@ -173,11 +213,19 @@ def execute_batch(batch: CellBatch) -> List[RunResult]:
     (:func:`~repro.experiments.registry.graph_seed_dependent`), the
     graph is built, the round cap derived and the engine topology
     compiled exactly once for the whole batch; seed-dependent kinds
-    (``gnp``, ``gray-zone``) rebuild all three per seed.  Each seed
-    then runs the unchanged :func:`execute_task` pipeline, so the
-    returned records are byte-identical to per-task execution.
+    (``gnp``, ``gray-zone``) rebuild all three per seed.  Cells that
+    request ``engine="vector"`` and share their graph run all seeds at
+    once through the lockstep matrix path
+    (:func:`repro.sim.vector_engine.run_lockstep`); every other cell
+    runs each seed through the unchanged :func:`execute_task` pipeline.
+    Either way the returned records are byte-identical to per-task
+    execution (the engines are proven trace-equivalent).
     """
     share = not graph_seed_dependent(batch.tasks[0].graph_kind)
+    if share and batch.tasks[0].engine == "vector":
+        lockstep = _execute_batch_lockstep(batch)
+        if lockstep is not None:
+            return lockstep
     graph: Optional[DualGraph] = None
     topology: Optional[CompiledTopology] = None
     default_cap: Optional[int] = None
@@ -196,6 +244,96 @@ def execute_batch(batch: CellBatch) -> List[RunResult]:
             default_cap = suggested_round_limit(task.algorithm, graph)
         results.append(_execute_on(task, graph, topology, default_cap))
     return results
+
+
+def _execute_batch_lockstep(
+    batch: CellBatch,
+) -> Optional[List[RunResult]]:
+    """Run a vector cell's whole seed list in one lockstep call.
+
+    Returns ``None`` when the cell's collision-rule/adversary
+    combination is ineligible for the mask algebra (or NumPy is
+    missing); the caller then takes the per-task path, whose
+    :func:`_route_engine` downgrade produces the identical records on
+    the reference engine.  Per-seed adversaries, processes and engine
+    seeds are built exactly as :func:`execute_task` would, so the
+    lockstep records match per-task execution byte for byte.
+    """
+    from repro.sim.vector_engine import run_lockstep, vector_engine_eligible
+
+    tasks = batch.tasks
+    rule = CollisionRule[tasks[0].collision_rule]
+    # Probe eligibility with the first task's adversary alone — the
+    # gate is type-based, so one instance decides for the whole cell
+    # and an ineligible cell builds no throwaway objects.
+    first_adversary = build_adversary(
+        tasks[0].adversary_kind,
+        seed=tasks[0].derived_seed,
+        **dict(tasks[0].adversary_params),
+    )
+    if not vector_engine_eligible(rule, first_adversary):
+        return None
+    adversaries = [first_adversary] + [
+        build_adversary(
+            task.adversary_kind,
+            seed=task.derived_seed,
+            **dict(task.adversary_params),
+        )
+        for task in tasks[1:]
+    ]
+    first = tasks[0]
+    graph = build_graph(
+        first.graph_kind,
+        first.n,
+        seed=first.seed,
+        **dict(first.graph_params),
+    )
+    topology = compile_topology(graph)
+    default_cap: Optional[int] = None
+    process_lists = []
+    configs = []
+    for task in tasks:
+        process_lists.append(
+            make_processes(
+                task.algorithm, graph.n, **dict(task.algorithm_params)
+            )
+        )
+        max_rounds = task.max_rounds
+        if max_rounds is None:
+            if default_cap is None:
+                default_cap = suggested_round_limit(
+                    task.algorithm, graph
+                )
+            max_rounds = default_cap
+        configs.append(
+            EngineConfig(
+                collision_rule=rule,
+                start_mode=StartMode(task.start_mode),
+                max_rounds=max_rounds,
+                seed=task.derived_seed,
+                engine="vector",
+            )
+        )
+    # Bounded lane blocks: one lockstep call interleaves every lane's
+    # processes and RNG states each round, so very wide cells would
+    # trade all cache locality for matrix width.  Blocks are pure
+    # scheduling — each lane's trace is independent.
+    traces = []
+    for lo in range(0, len(tasks), _LOCKSTEP_LANES):
+        hi = lo + _LOCKSTEP_LANES
+        traces.extend(
+            run_lockstep(
+                graph,
+                process_lists[lo:hi],
+                adversaries[lo:hi],
+                configs[lo:hi],
+                topology=topology,
+            )
+        )
+    return [
+        _result_from(task, graph, trace, "vector")
+        for task, trace in zip(tasks, traces)
+    ]
 
 
 class SweepRunner:

@@ -60,7 +60,7 @@ class StartMode(enum.Enum):
 
 
 #: Names accepted by :attr:`EngineConfig.engine` / :func:`build_engine`.
-ENGINE_NAMES = ("reference", "fast")
+ENGINE_NAMES = ("reference", "fast", "vector")
 
 
 @dataclass
@@ -82,9 +82,14 @@ class EngineConfig:
             (memory-heavy; intended for tests and small runs).
         engine: Which execution engine implementation to use:
             ``"reference"`` (this module's :class:`BroadcastEngine`, the
-            semantic ground truth) or ``"fast"`` (the bitmask engine in
-            :mod:`repro.sim.fast_engine`, which produces bit-identical
-            traces — see ``tests/test_fast_engine_equivalence.py``).
+            semantic ground truth), ``"fast"`` (the bitmask engine in
+            :mod:`repro.sim.fast_engine`) or ``"vector"`` (the NumPy
+            lockstep engine in :mod:`repro.sim.vector_engine`, whose
+            real payoff is running a cell's whole seed list at once via
+            :func:`repro.sim.vector_engine.run_lockstep`).  All three
+            produce bit-identical traces — see
+            ``tests/test_fast_engine_equivalence.py`` and
+            ``tests/test_engine_fuzz.py``.
     """
 
     collision_rule: CollisionRule = CollisionRule.CR4
@@ -481,11 +486,13 @@ def build_engine(
     """Instantiate the engine selected by ``config.engine``.
 
     ``"reference"`` yields :class:`BroadcastEngine`; ``"fast"`` yields
-    :class:`repro.sim.fast_engine.FastBroadcastEngine` (a subclass whose
-    traces are bit-identical — the two are interchangeable wherever an
-    engine is consumed).  ``topology`` optionally shares one
-    pre-compiled :class:`~repro.sim.fast_engine.CompiledTopology`
-    across engines built on the same graph.
+    :class:`repro.sim.fast_engine.FastBroadcastEngine`; ``"vector"``
+    yields :class:`repro.sim.vector_engine.VectorBroadcastEngine` (both
+    subclasses whose traces are bit-identical — the three are
+    interchangeable wherever an engine is consumed).  ``topology``
+    optionally shares one pre-compiled
+    :class:`~repro.sim.fast_engine.CompiledTopology` across engines
+    built on the same graph.
     """
     config = config if config is not None else EngineConfig()
     if config.engine == "reference":
@@ -497,6 +504,13 @@ def build_engine(
         from repro.sim.fast_engine import FastBroadcastEngine
 
         return FastBroadcastEngine(
+            network, processes, adversary, config, payload,
+            topology=topology,
+        )
+    if config.engine == "vector":
+        from repro.sim.vector_engine import VectorBroadcastEngine
+
+        return VectorBroadcastEngine(
             network, processes, adversary, config, payload,
             topology=topology,
         )

@@ -86,6 +86,7 @@ class CompiledTopology:
         "unreliable_only_seq",
         "bit",
         "reach_mask",
+        "_reach_matrix",
     )
 
     def __init__(self, graph: DualGraph) -> None:
@@ -102,6 +103,34 @@ class CompiledTopology:
             bit[v] | sum(bit[u] for u in self.reliable_out_seq[v])
             for v in graph.nodes
         ]
+        self._reach_matrix = None
+
+    def reach_matrix(self):
+        """The reach masks as an ``(n, n)`` NumPy ``float32`` matrix.
+
+        ``reach_matrix()[v, u] == 1.0`` iff a transmission from ``v`` is
+        guaranteed to reach ``u`` (``v`` itself plus its reliable
+        out-neighbours) — the matrix form of :attr:`reach_mask`, consumed
+        by the vector engine's whole-matrix arrival algebra
+        (:mod:`repro.sim.vector_engine`).  ``float32`` so the per-round
+        matmuls hit BLAS (NumPy integer matmul is a naive loop); every
+        value the algebra produces — arrival counts ≤ n and
+        sender-index sums ≤ n(n+1)/2 — is far below 2²⁴, so the float
+        arithmetic is exact.  Computed lazily and cached, so sweeps that
+        never select the vector engine pay nothing and never import
+        NumPy.
+        """
+        if self._reach_matrix is None:
+            import numpy as np
+
+            n = len(self.bit)
+            matrix = np.zeros((n, n), dtype=np.float32)
+            for v, targets in enumerate(self.reliable_out_seq):
+                matrix[v, v] = 1.0
+                if targets:
+                    matrix[v, list(targets)] = 1.0
+            self._reach_matrix = matrix
+        return self._reach_matrix
 
 
 def compile_topology(graph: DualGraph) -> CompiledTopology:
@@ -109,29 +138,50 @@ def compile_topology(graph: DualGraph) -> CompiledTopology:
     return CompiledTopology(graph)
 
 
-def fast_engine_eligible(
+def mask_engine_eligible(
     collision_rule: CollisionRule, adversary: Optional[Adversary] = None
 ) -> bool:
-    """Whether the fast engine is the canonical choice for a combination.
+    """The single eligibility truth table behind both mask-algebra gates.
 
-    CR1–CR3 resolutions are pure set algebra, so any algorithm/adversary
-    combination under them is eligible.  Under CR4 the adversary owns the
-    resolution at every multiply-reached non-sender; the fast engine then
-    has to rebuild full arrival lists per collision, so the sweep layer
-    routes CR4 to the reference engine **unless** the adversary leaves
-    :meth:`~repro.adversaries.base.Adversary.resolve_cr4` at the base
-    default (always silence), which the fast path resolves without
-    consultation.
+    Both the fast (bitmask) and vector (NumPy lockstep) engines resolve
+    rounds with set algebra; the only combination where the algebra
+    cannot decide a reception on its own is a CR4 collision at a
+    non-sender whose adversary actually implements
+    :meth:`~repro.adversaries.base.Adversary.resolve_cr4` (then the full
+    arrival list must be rebuilt per collision).  The sweep layer routes
+    exactly that combination back to the reference engine::
 
-    Note this is a routing policy, not a correctness boundary:
-    :class:`FastBroadcastEngine` handles every combination, falling back
-    to the reference per-message path where needed.
+        rule    | adversary's resolve_cr4       | fast | vector
+        --------+-------------------------------+------+-------
+        CR1–CR3 | (never consulted)             | yes  | yes
+        CR4     | base default (always silence) | yes  | yes
+        CR4     | overridden (real resolver)    | no   | no
+
+    ``adversary=None`` counts as the base default (the engines default to
+    :class:`~repro.adversaries.base.NoDeliveryAdversary`, which inherits
+    it).  This is a routing policy, not a correctness boundary: both
+    engines handle every combination, falling back to the reference
+    per-message path where needed.  :func:`fast_engine_eligible` and
+    :func:`repro.sim.vector_engine.vector_engine_eligible` are thin
+    wrappers over this predicate (the vector gate additionally requires
+    NumPy to be importable).
     """
     if collision_rule is not CollisionRule.CR4:
         return True
     if adversary is None:
         return True  # engine default is NoDeliveryAdversary (base resolve)
     return type(adversary).resolve_cr4 is Adversary.resolve_cr4
+
+
+def fast_engine_eligible(
+    collision_rule: CollisionRule, adversary: Optional[Adversary] = None
+) -> bool:
+    """Whether the fast engine is the canonical choice for a combination.
+
+    A thin wrapper over :func:`mask_engine_eligible` — see its docstring
+    for the full truth table shared with the vector engine's gate.
+    """
+    return mask_engine_eligible(collision_rule, adversary)
 
 
 def _observes_non_messages(process: Process) -> bool:

@@ -1,0 +1,480 @@
+"""NumPy lockstep engine: a whole seed population per matrix operation.
+
+The paper's experiments are Monte-Carlo estimates over many seeds of one
+*science cell* (graph × algorithm × collision rule); the batched sweep
+path already hands each worker a :class:`~repro.experiments.spec.CellBatch`
+of exactly those seeds.  This module adds the third engine backend,
+which runs all of a cell's seeds in **lockstep**: per-seed/per-node
+state lives in ``(seeds × nodes)`` NumPy boolean matrices, so delivery,
+CR1–CR3 collision resolution and the reached-set algebra of one round
+resolve as whole-matrix operations for every seed at once.
+
+What stays per seed — and why traces stay bit-identical:
+
+* **Decisions** — each seed keeps its own live processes with their own
+  deterministic PRNG streams (``random.Random(f"{seed}:{uid}")``), so
+  :meth:`~repro.sim.process.Process.decide_send` is called exactly as
+  the reference engine would, in ascending node order, per seed.
+* **Adversaries** — each seed has its own adversary object; its view,
+  delivery choices and (in the fallback) CR4 consultations happen in
+  the reference engine's order.
+* **Delivery** — only positions whose reception can change process
+  state are visited in Python; which positions those are is computed by
+  the matrix algebra.  Receptions compare by value, so sharing one
+  ``Reception`` per (seed, sender) is observationally identical to the
+  reference engine's fresh instances.
+
+The matrix algebra per round, for the live lanes (seeds still running):
+
+* ``send`` — ``(L × n)`` boolean, bit set where that lane's node
+  transmits this round.
+* One integer matmul against the compiled topology's reach matrix
+  yields the per-position **arrival count**; a second, sender-index
+  weighted matmul yields, at positions with exactly one arrival, *which*
+  sender reached them.  Adversary-chosen unreliable deliveries are added
+  on top per lane.
+* Boolean masks then classify every (seed, node) position into
+  own-message / unique-message / collision / silence per the CR1–CR4
+  observability matrix, and ``np.nonzero`` enumerates only the
+  positions needing a Python-level delivery — collision/silence at
+  non-observer processes is skipped entirely, in C, across all seeds.
+
+Like the fast engine, two places intentionally stay on the reference
+path: CR4 consultation of a real adversary resolver (arrival lists are
+rebuilt in reference order) and payload-identity custody.  The engines
+are interchangeable: :func:`repro.sim.engine.build_engine` dispatches
+``engine="vector"`` to :class:`VectorBroadcastEngine` (a single-lane
+lockstep), and the experiments layer runs eligible cells through
+:func:`run_lockstep` (``benchmarks/bench_vector_engine.py`` measures
+the seeds-throughput win; ``tests/test_engine_fuzz.py`` and
+``tests/test_vector_engine.py`` enforce trace equality).
+
+NumPy is an optional dependency of this module alone: importing it
+without NumPy works, :func:`vector_engine_eligible` then reports
+``False`` and constructing the engine raises a clear error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised implicitly on numpy-less installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.adversaries.base import Adversary, AdversaryView
+from repro.graphs.dualgraph import DualGraph
+from repro.sim.collision import CollisionRule, resolve_reception
+from repro.sim.engine import EngineConfig
+from repro.sim.fast_engine import (
+    CompiledTopology,
+    FastBroadcastEngine,
+    compile_topology,
+    mask_engine_eligible,
+)
+from repro.sim.messages import (
+    COLLISION,
+    Message,
+    Reception,
+    SILENCE,
+    received,
+)
+from repro.sim.process import Process
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+
+def have_numpy() -> bool:
+    """Whether NumPy is importable (the vector engine's only dependency)."""
+    return _np is not None
+
+
+#: Reception categories of the per-round classification matrix.  0 is
+#: silence (also the skip default); the rest mark positions the Python
+#: delivery loop must interpret.  Collision is deliberately last: a
+#: collision is only deliverable to observers, so the default visit set
+#: is ``0 < cat < _CAT_COLL``.
+_CAT_OWN = 1  # a sender receiving its own message
+_CAT_UNIQUE = 2  # a non-sender with exactly one arrival
+_CAT_CONSULT = 3  # CR4 collision owned by a real adversary resolver
+_CAT_COLL = 4  # collision notification (CR1/CR2)
+
+
+def vector_engine_eligible(
+    collision_rule: CollisionRule, adversary: Optional[Adversary] = None
+) -> bool:
+    """Whether the vector engine is the canonical choice for a combination.
+
+    Shares the fast engine's eligibility truth table
+    (:func:`repro.sim.fast_engine.mask_engine_eligible`): CR1–CR3 always,
+    CR4 only with the base (always-silence) resolver.  Additionally
+    requires NumPy; without it the gate reports ``False`` so the sweep
+    layer transparently falls back to the reference engine.
+    """
+    return _np is not None and mask_engine_eligible(
+        collision_rule, adversary
+    )
+
+
+class VectorBroadcastEngine(FastBroadcastEngine):
+    """NumPy drop-in for :class:`~repro.sim.engine.BroadcastEngine`.
+
+    Constructor signature, public API, trace output, process-state
+    evolution and adversary interaction are all identical to the
+    reference engine; a standalone instance is a one-lane lockstep
+    (see the module docstring for the algebra).  The multi-seed payoff
+    comes from :func:`run_lockstep`, which steps many instances through
+    shared matrix operations.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "the vector engine requires numpy; install it or use "
+                "engine='fast' / engine='reference'"
+            )
+        super().__init__(*args, **kwargs)
+        n = self.network.n
+        if self._topology is not None:
+            self._np_reach = self._topology.reach_matrix()
+        else:
+            self._np_reach = compile_topology(self.network).reach_matrix()
+        # Boolean row views of the incrementally maintained node sets;
+        # _activate keeps the active row current.
+        self._active_row = _np.zeros(n, dtype=bool)
+        observer_row = _np.zeros(n, dtype=bool)
+        mask = self._observer_mask
+        while mask:
+            low = mask & -mask
+            observer_row[low.bit_length() - 1] = True
+            mask ^= low
+        self._observer_row = observer_row
+
+    def _activate(self, node: int) -> None:
+        if node in self._active:
+            return
+        self._active_row[node] = True
+        super()._activate(node)
+
+    def _step(self) -> RoundRecord:
+        _lockstep_round([self])
+        return self.trace.rounds[-1]
+
+
+def _decide_lane_senders(
+    lane: VectorBroadcastEngine, rnd: int
+) -> Dict[int, Message]:
+    """Phase 1 for one lane: ascending-node sender decisions.
+
+    The same discipline as the fast engine: only active contexts advance
+    here; a sleeping context's round counter is refreshed at wake-up.
+    """
+    senders: Dict[int, Message] = {}
+    for node, process, ctx in lane._active_triples():
+        ctx.round_number = rnd
+        msg = process.decide_send(ctx)
+        if msg is not None:
+            senders[node] = msg
+    return senders
+
+
+def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
+    """Execute one synchronous round across all (live) lanes.
+
+    Every lane must share the same graph, collision rule, start mode,
+    recording flag and current round number — exactly what
+    :func:`run_lockstep` guarantees (a standalone engine is a one-lane
+    call).  Appends one :class:`~repro.sim.trace.RoundRecord` per lane.
+    """
+    np = _np
+    first = lanes[0]
+    n = first.network.n
+    rule = first.config.collision_rule
+    recording = first.config.record_receptions
+    rnd = first._round + 1
+    n_lanes = len(lanes)
+
+    # Phase 1: per-lane decisions (per-seed RNG streams stay intact).
+    # Sender positions are collected as flat (lane, node) coordinate
+    # lists — proportional to the senders, never to ``lanes × n``.
+    lane_senders: List[Dict[int, Message]] = []
+    srows: List[int] = []
+    snodes: List[int] = []
+    for i, lane in enumerate(lanes):
+        lane._round = rnd
+        senders = _decide_lane_senders(lane, rnd)
+        lane_senders.append(senders)
+        if senders:
+            srows.extend([i] * len(senders))
+            snodes.extend(senders)
+
+    # Phase 2: per-lane adversary choices (validated the usual way).
+    lane_views: List[AdversaryView] = []
+    lane_deliveries: List[Dict] = []
+    for i, lane in enumerate(lanes):
+        view = lane._adversary_view(rnd, lane_senders[i])
+        lane_views.append(view)
+        lane_deliveries.append(
+            lane._validated_deliveries(view, lane_senders[i])
+        )
+
+    # Phase 3: arrival algebra as two matmuls over the sender columns.
+    # counts[l, u] = number of messages reaching node u in lane l;
+    # wsum[l, u]   = sum of (sender node + 1) over those messages, so at
+    # positions with exactly one arrival the sender is wsum - 1.
+    reach = first._np_reach
+    if snodes:
+        # float32 keeps the matmuls on BLAS; counts (≤ n) and
+        # sender-index sums (≤ n(n+1)/2) stay far below 2²⁴, so the
+        # arithmetic is exact.
+        snode_arr = np.asarray(snodes)
+        col_arr, col_inv = np.unique(snode_arr, return_inverse=True)
+        sub = np.zeros((n_lanes, col_arr.size), dtype=np.float32)
+        sub[srows, col_inv] = 1.0
+        reach_rows = reach[col_arr]
+        counts = sub @ reach_rows
+        weights = (col_arr + 1).astype(np.float32)
+        wsum = (sub * weights) @ reach_rows
+    else:
+        snode_arr = None
+        counts = np.zeros((n_lanes, n), dtype=np.float32)
+        wsum = np.zeros((n_lanes, n), dtype=np.float32)
+    for i, deliveries in enumerate(lane_deliveries):
+        for sender, targets in deliveries.items():
+            if targets:
+                ts = list(targets)
+                counts[i, ts] += 1
+                wsum[i, ts] += sender + 1
+
+    # Classification per the CR1–CR4 observability matrix, encoded as
+    # one int8 category per (lane, node) position.  Assignment order
+    # makes the senders win: under CR2–CR4 a sender always hears its
+    # own message, whatever else reached it.  Under CR1 a multiply
+    # reached sender collides (no override), and a lone sender's one
+    # arrival is its own message — _CAT_UNIQUE resolves it to exactly
+    # that, so CR1 needs no sender category at all.
+    multi = counts >= 2
+    cat = np.zeros((n_lanes, n), dtype=np.int8)
+    if multi.any():
+        if rule.provides_collision_detection:  # CR1, CR2
+            cat[multi] = _CAT_COLL
+        elif rule is CollisionRule.CR4:
+            # Per-lane: only adversaries with a real resolver are
+            # consulted; base-default lanes resolve to silence (the
+            # category default, like CR3).
+            consulting = np.fromiter(
+                (not lane._cr4_default_silence for lane in lanes),
+                dtype=bool,
+                count=n_lanes,
+            )
+            if consulting.any():
+                cat[multi & consulting[:, None]] = _CAT_CONSULT
+    cat[counts == 1] = _CAT_UNIQUE
+    if snode_arr is not None and rule is not CollisionRule.CR1:
+        cat[srows, snode_arr] = _CAT_OWN
+
+    # Phase 4: visit only positions whose delivery can matter.  Active
+    # observers get every reception (including silence when unreached);
+    # CR4 consultations always happen (the reference engine consults
+    # even when the chosen outcome ends up undelivered).  Everything the
+    # Python loop reads is gathered to plain lists first — per-element
+    # numpy scalar indexing is what would otherwise dominate the round.
+    lane_sender_rec: List[Dict[int, Reception]] = [
+        {} for _ in range(n_lanes)
+    ]
+    lane_newly_informed: List[List[int]] = [[] for _ in range(n_lanes)]
+    lane_newly_active: List[List[int]] = [[] for _ in range(n_lanes)]
+    lane_receptions: List[Optional[Dict[int, Reception]]] = [
+        {} if recording else None for _ in range(n_lanes)
+    ]
+
+    if recording:
+        ls = np.repeat(np.arange(n_lanes), n)
+        ns = np.tile(np.arange(n), n_lanes)
+    else:
+        # Collisions and silence deliver only to active observers, so
+        # without observers the visit set is just the positions whose
+        # reception carries (or may carry, for consults) a message.
+        need = (cat > 0) & (cat < _CAT_COLL)
+        if any(lane._observer_mask for lane in lanes):
+            observer = np.stack(
+                [lane._observer_row for lane in lanes]
+            )
+            active_mat = np.stack([lane._active_row for lane in lanes])
+            need = need | (active_mat & observer)
+        ls, ns = np.nonzero(need)
+
+    # One hoisted-locals delivery loop per lane: nonzero's row-major
+    # output keeps each lane's positions contiguous and node-ascending,
+    # exactly the reference engine's candidate order.
+    bounds = np.searchsorted(ls, np.arange(n_lanes + 1)).tolist()
+    ns_list = ns.tolist()
+    cats = cat[ls, ns].tolist()
+    wsums = wsum[ls, ns].tolist()
+
+    for i in range(n_lanes):
+        lo, hi = bounds[i], bounds[i + 1]
+        if lo == hi:
+            continue
+        lane = lanes[i]
+        senders = lane_senders[i]
+        active = lane._active
+        contexts = lane._contexts
+        process_at = lane.process_at
+        informed_round = lane.trace.informed_round
+        deliver = lane._deliver
+        carries_payload = lane._carries_payload
+        observer_mask = lane._observer_mask
+        activate = lane._activate
+        mark_informed = lane._mark_informed
+        sender_rec = lane_sender_rec[i]
+        newly_informed = lane_newly_informed[i]
+        newly_active = lane_newly_active[i]
+        rec_map = lane_receptions[i]
+        for node, category, weight in zip(
+            ns_list[lo:hi], cats[lo:hi], wsums[lo:hi]
+        ):
+            if category == 0:
+                reception = SILENCE
+            elif category == _CAT_OWN:
+                reception = sender_rec.get(node)
+                if reception is None:
+                    reception = received(senders[node])
+                    sender_rec[node] = reception
+            elif category == _CAT_UNIQUE:
+                sender = int(weight) - 1
+                reception = sender_rec.get(sender)
+                if reception is None:
+                    reception = received(senders[sender])
+                    sender_rec[sender] = reception
+            elif category == _CAT_COLL:
+                reception = COLLISION
+            else:  # _CAT_CONSULT
+                # CR4 with a real resolver: rebuild the arrival list
+                # in reference order (ascending sender node) and defer
+                # to the shared resolution path.
+                deliveries = lane_deliveries[i]
+                arrivals = [
+                    msg
+                    for s, msg in senders.items()
+                    if reach[s, node] or node in deliveries.get(s, ())
+                ]
+                view = lane_views[i]
+                adversary = lane.adversary
+
+                def cr4(node, msgs, view=view, adversary=adversary):
+                    return adversary.resolve_cr4(view, node, msgs)
+
+                reception = resolve_reception(
+                    rule, node, False, None, arrivals, cr4_resolver=cr4
+                )
+
+            if rec_map is not None:
+                rec_map[node] = reception
+            is_message = reception.message is not None
+            if node not in active:
+                if is_message:
+                    contexts[node].round_number = rnd  # wake mid-round
+                    newly_active.append(node)
+                    activate(node)
+                else:
+                    continue  # sleeping processes observe nothing
+            elif not is_message and not (observer_mask >> node & 1):
+                continue  # provably inert delivery
+            process = process_at[node]
+            was_informed = informed_round[node] is not None
+            deliver(node, process, reception)
+            if not was_informed and informed_round[node] is None:
+                if process.has_message and carries_payload(reception):
+                    mark_informed(node, rnd)
+                    newly_informed.append(node)
+
+    for i, lane in enumerate(lanes):
+        lane.trace.rounds.append(
+            RoundRecord(
+                round_number=rnd,
+                senders=lane_senders[i],
+                unreliable_deliveries=lane_deliveries[i],
+                newly_informed=tuple(lane_newly_informed[i]),
+                newly_active=tuple(lane_newly_active[i]),
+                receptions=lane_receptions[i],
+            )
+        )
+
+
+def run_lockstep(
+    network: DualGraph,
+    process_lists: Sequence[Sequence[Process]],
+    adversaries: Sequence[Optional[Adversary]],
+    configs: Sequence[EngineConfig],
+    payload: object = "broadcast-message",
+    topology: Optional[CompiledTopology] = None,
+) -> List[ExecutionTrace]:
+    """Run one lane per ``(processes, adversary, config)`` triple in lockstep.
+
+    Every lane executes on the same ``network`` (one compiled topology,
+    shared by all lanes) and must agree on collision rule, start mode
+    and reception recording; seeds, round caps and stop conditions stay
+    per lane.  Each lane's trace is bit-identical to what the reference
+    engine produces for the same inputs — lanes retire individually the
+    moment their own run would stop (broadcast complete or cap hit),
+    exactly mirroring :meth:`~repro.sim.engine.BroadcastEngine.run`.
+
+    Returns the traces in input order.
+    """
+    if _np is None:
+        raise RuntimeError(
+            "run_lockstep requires numpy; install it or run the seeds "
+            "through engine='fast' instead"
+        )
+    if not process_lists:
+        raise ValueError("need at least one lane")
+    if not (
+        len(process_lists) == len(adversaries) == len(configs)
+    ):
+        raise ValueError(
+            "process_lists, adversaries and configs must align "
+            f"({len(process_lists)}, {len(adversaries)}, {len(configs)})"
+        )
+    shared = {
+        (c.collision_rule, c.start_mode, c.record_receptions)
+        for c in configs
+    }
+    if len(shared) != 1:
+        raise ValueError(
+            "lockstep lanes must share collision rule, start mode and "
+            "reception recording"
+        )
+    if topology is None:
+        topology = compile_topology(network)
+    lanes = [
+        VectorBroadcastEngine(
+            network, procs, adv, config, payload, topology=topology
+        )
+        for procs, adv, config in zip(
+            process_lists, adversaries, configs
+        )
+    ]
+    for lane in lanes:
+        lane._setup()
+        lane._started = True
+    # Mirror BroadcastEngine.run(): the stop-when-informed check runs
+    # only *after* a round, so even an initially informed lane (n == 1)
+    # executes one round; a non-positive cap executes none.
+    live = [lane for lane in lanes if lane._round < lane.config.max_rounds]
+    for lane in lanes:
+        if lane._round >= lane.config.max_rounds:
+            lane.trace.completed = lane._all_informed()
+    while live:
+        _lockstep_round(live)
+        still: List[VectorBroadcastEngine] = []
+        for lane in live:
+            stopped = (
+                lane.config.stop_when_informed and lane._all_informed()
+            ) or lane._round >= lane.config.max_rounds
+            if stopped:
+                lane.trace.completed = lane._all_informed()
+            else:
+                still.append(lane)
+        live = still
+    return [lane.trace for lane in lanes]

@@ -1,29 +1,80 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures: the tiny graph corpus the engine-facing suites run on.
+
+The corpus pins one tiny instance per graph family (line /
+clique-bridge / gnp) so the unit, differential and batching suites
+exercise the same topologies without re-declaring them in every file.
+Built graphs are cached per ``(kind, n, seed, params)`` —
+:class:`~repro.graphs.dualgraph.DualGraph` is immutable, so sharing one
+instance across tests (and across engines inside a differential test)
+is safe and keeps the suites fast.
+
+Hypothesis profiles for the property-based suites live in
+``tests/test_engine_fuzz.py`` (they are only relevant there).
+"""
 
 import pytest
 
-from repro.graphs import clique_bridge, gnp_dual, layered_pairs, line
+from repro.experiments.registry import build_graph
+from repro.sim import ScriptedProcess
+
+#: Default size of each tiny corpus instance, one per graph family.
+#: ``line`` maximises diameter, ``clique-bridge`` is the Theorem-2
+#: construction (dual edges with a bottleneck), ``gnp`` adds random
+#: reliable/unreliable structure.
+CORPUS_SIZES = {
+    "line": 9,
+    "clique-bridge": 9,
+    "gnp": 17,
+}
+
+#: Graph-family names of the corpus, in a stable order (parametrisation
+#: handle for differential suites).
+CORPUS_KINDS = tuple(CORPUS_SIZES)
+
+_graph_cache = {}
+
+
+def corpus_graph(kind, n=None, seed=0, **params):
+    """Build (and cache) a tiny corpus graph.
+
+    ``kind`` is any registered graph kind; ``n`` defaults to the
+    corpus size for corpus families.  Cached instances are shared —
+    callers must treat them as the immutable objects they are.
+    """
+    if n is None:
+        n = CORPUS_SIZES[kind]
+    key = (kind, n, seed, tuple(sorted(params.items())))
+    if key not in _graph_cache:
+        _graph_cache[key] = build_graph(kind, n, seed=seed, **params)
+    return _graph_cache[key]
+
+
+def scripted_processes(n, rounds=range(1, 1000), **kw):
+    """``ScriptedProcess`` automata for all ``n`` uids (unit-test default)."""
+    return [
+        ScriptedProcess(uid=i, send_rounds=rounds, **kw) for i in range(n)
+    ]
 
 
 @pytest.fixture
-def small_line():
-    """A 6-node undirected path (classical, G = G')."""
-    return line(6)
+def graph_corpus():
+    """Factory fixture over :func:`corpus_graph` (the common spelling)."""
+    return corpus_graph
 
 
 @pytest.fixture
-def small_dual():
-    """A 24-node random dual graph, fixed seed."""
-    return gnp_dual(24, p_reliable=0.12, p_unreliable=0.25, seed=11)
+def tiny_line():
+    """The 9-node undirected path shared across suites."""
+    return corpus_graph("line")
 
 
 @pytest.fixture
-def bridge_layout():
-    """The Theorem-2 clique-bridge network, n=10."""
-    return clique_bridge(10)
+def tiny_clique_bridge():
+    """The Theorem-2 clique-bridge instance, n=9."""
+    return corpus_graph("clique-bridge")
 
 
 @pytest.fixture
-def pairs_layout():
-    """The Theorem-12 layered-pairs network, n=9."""
-    return layered_pairs(9)
+def tiny_gnp():
+    """A 17-node random dual graph, fixed seed."""
+    return corpus_graph("gnp")

@@ -261,11 +261,11 @@ class TestSeedDependenceRegistry:
 
 
 class TestCompiledTopology:
-    @pytest.mark.parametrize("engine", ["reference", "fast"])
-    def test_shared_topology_identical_traces(self, engine):
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+    def test_shared_topology_identical_traces(self, engine, tiny_line):
         from repro.core.runner import make_processes
 
-        graph = line(9)
+        graph = tiny_line
         topology = compile_topology(graph)
         traces = []
         for topo in (None, topology, topology):  # reuse twice
@@ -278,11 +278,11 @@ class TestCompiledTopology:
             traces.append(trace_to_json(eng.run()))
         assert traces[0] == traces[1] == traces[2]
 
-    def test_mismatched_topology_rejected(self):
+    def test_mismatched_topology_rejected(self, tiny_line):
         from repro.core.runner import make_processes
 
-        topology = compile_topology(line(9))
-        other = line(9)  # equal structure, different object
+        topology = compile_topology(tiny_line)
+        other = line(tiny_line.n)  # equal structure, different object
         with pytest.raises(ValueError, match="different graph"):
             build_engine(
                 other,
@@ -297,6 +297,20 @@ class TestCompiledTopology:
         assert topology.reach_mask[0] == 0b00011
         assert topology.reach_mask[2] == 0b01110
         assert topology.reliable_out_seq[1] == (0, 2)
+
+    def test_reach_matrix_matches_reach_masks(self, tiny_clique_bridge):
+        """The vector engine's matrix export is the masks, row by row."""
+        np = pytest.importorskip("numpy")
+        topology = compile_topology(tiny_clique_bridge)
+        matrix = topology.reach_matrix()
+        assert matrix is topology.reach_matrix()  # cached
+        n = tiny_clique_bridge.n
+        assert matrix.shape == (n, n)
+        for v in range(n):
+            mask = sum(
+                1 << u for u in np.flatnonzero(matrix[v]).tolist()
+            )
+            assert mask == topology.reach_mask[v], v
 
 
 class TestChunkCap:
@@ -319,14 +333,15 @@ class TestChunkCap:
 
 
 class TestObserverBatching:
-    def test_batching_with_observer_processes(self):
+    @pytest.mark.parametrize("engine", ["fast", "vector"])
+    def test_batching_with_observer_processes(self, engine):
         """Cells whose processes observe silence batch identically."""
         spec = ExperimentSpec(
             name="dec",
             algorithms=["decay"],
             graphs=[("clique-bridge", 9)],
             adversaries=["none"],
-            engines=["fast"],
+            engines=[engine],
             seeds=range(3),
             max_rounds=64,
         )

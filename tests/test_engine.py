@@ -2,6 +2,7 @@
 
 import pytest
 
+from conftest import scripted_processes as scripted
 from repro.adversaries import (
     Adversary,
     FullDeliveryAdversary,
@@ -9,11 +10,15 @@ from repro.adversaries import (
 )
 from repro.graphs import line, star, with_complete_unreliable
 from repro.graphs.dualgraph import DualGraph
-from repro.sim import BroadcastEngine, CollisionRule, EngineConfig, ScriptedProcess, SilentProcess, StartMode, run_broadcast
-
-
-def scripted(n, rounds=range(1, 1000), **kw):
-    return [ScriptedProcess(uid=i, send_rounds=rounds, **kw) for i in range(n)]
+from repro.sim import (
+    BroadcastEngine,
+    CollisionRule,
+    EngineConfig,
+    ScriptedProcess,
+    SilentProcess,
+    StartMode,
+    run_broadcast,
+)
 
 
 class TestBasicExecution:
@@ -203,13 +208,14 @@ class TestAdversaryInterface:
 
 
 class TestDeterminism:
-    def test_same_seed_same_trace(self):
+    def test_same_seed_same_trace(self, tiny_line):
         from repro.core import make_harmonic_processes
 
-        g = line(8)
-        t1 = run_broadcast(g, make_harmonic_processes(8), seed=3,
+        g = tiny_line
+        n = g.n
+        t1 = run_broadcast(g, make_harmonic_processes(n), seed=3,
                            max_rounds=5000)
-        t2 = run_broadcast(g, make_harmonic_processes(8), seed=3,
+        t2 = run_broadcast(g, make_harmonic_processes(n), seed=3,
                            max_rounds=5000)
         assert t1.completion_round == t2.completion_round
         assert [r.senders.keys() for r in t1.rounds] == [

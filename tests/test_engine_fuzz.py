@@ -1,0 +1,202 @@
+"""Property-based differential fuzzing of the three execution engines.
+
+Hypothesis generates small random dual graphs (a random parent tree
+guarantees source-reachability, plus random extra reliable and
+unreliable edges), algorithms, CR1–CR4, adversaries, start modes and
+round caps, then asserts the determinism contract the example-based
+suites pin pointwise:
+
+* **Trace equality** — reference, fast and vector engines produce
+  byte-identical serialized traces (``trace_to_json``) for the same
+  inputs, recorded receptions included.
+* **Semantics** — the recorded execution passes the independent
+  Section 2.1 checker (``repro.sim.validation``), which shares no code
+  with any engine.
+* **Lockstep** — running a whole seed list through one
+  :func:`repro.sim.vector_engine.run_lockstep` call equals running each
+  seed alone on the reference engine.
+
+The suite is marked ``fuzz`` and excluded from tier-1 (see
+``pyproject.toml``); CI runs it in a dedicated job under the pinned,
+derandomized ``ci`` profile, so failures reproduce exactly.  Example
+counts are bounded — this is a breadth net behind the deterministic
+suites, not a soak test.
+"""
+
+import os
+
+import pytest
+
+pytest.importorskip("numpy")
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.runner import make_processes
+from repro.experiments.registry import build_adversary
+from repro.graphs.dualgraph import DualGraph
+from repro.sim import (
+    CollisionRule,
+    EngineConfig,
+    StartMode,
+    build_engine,
+    run_lockstep,
+    trace_to_json,
+    validate_execution,
+)
+
+pytestmark = pytest.mark.fuzz
+
+# Derandomized profiles: `ci` is the scheduled-job setting (pinned,
+# reproducible, broader); the default keeps local tier-2 runs quick.
+settings.register_profile(
+    "ci",
+    max_examples=75,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=20,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+ALGORITHMS = (
+    "round_robin",
+    "harmonic",
+    "uniform",
+    "decay",
+    "strong_select",
+)
+ADVERSARIES = ("none", "full", "random", "greedy")
+
+
+@st.composite
+def dual_graphs(draw):
+    """A small random dual graph, always source-connected.
+
+    Node ``v >= 1`` gets a random parent in ``[0, v)`` — those tree
+    edges are reliable, so every node is reachable from source 0 — and
+    random extra pairs join ``G`` (reliable) or ``G' \\ G`` (unreliable).
+    """
+    n = draw(st.integers(min_value=2, max_value=8))
+    tree = [
+        (draw(st.integers(min_value=0, max_value=v - 1)), v)
+        for v in range(1, n)
+    ]
+    pairs = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+    ]
+    extra_reliable = draw(
+        st.sets(st.sampled_from(pairs), max_size=6)
+    )
+    extra_unreliable = draw(
+        st.sets(st.sampled_from(pairs), max_size=8)
+    )
+    reliable = sorted(set(tree) | extra_reliable)
+    all_edges = sorted(set(reliable) | extra_unreliable)
+    return DualGraph(
+        n, reliable, all_edges, undirected=True, name=f"fuzz(n={n})"
+    )
+
+
+def run_one(engine, graph, algorithm, adversary_kind, rule, start_mode,
+            seed, max_rounds, record):
+    processes = make_processes(algorithm, graph.n)
+    adversary = build_adversary(adversary_kind, seed=seed)
+    config = EngineConfig(
+        collision_rule=rule,
+        start_mode=start_mode,
+        max_rounds=max_rounds,
+        seed=seed,
+        record_receptions=record,
+        engine=engine,
+    )
+    return build_engine(graph, processes, adversary, config).run()
+
+
+@given(
+    graph=dual_graphs(),
+    algorithm=st.sampled_from(ALGORITHMS),
+    adversary_kind=st.sampled_from(ADVERSARIES),
+    rule=st.sampled_from(list(CollisionRule)),
+    start_mode=st.sampled_from(list(StartMode)),
+    seed=st.integers(min_value=0, max_value=2**16),
+    max_rounds=st.integers(min_value=0, max_value=40),
+)
+def test_engines_agree_and_pass_validation(
+    graph, algorithm, adversary_kind, rule, start_mode, seed, max_rounds
+):
+    """reference ≡ fast ≡ vector, byte for byte, and validator-clean."""
+    serialized = {}
+    reference = None
+    for engine in ("reference", "fast", "vector"):
+        trace = run_one(
+            engine, graph, algorithm, adversary_kind, rule,
+            start_mode, seed, max_rounds, record=True,
+        )
+        serialized[engine] = trace_to_json(trace)
+        if engine == "reference":
+            reference = trace
+    assert serialized["fast"] == serialized["reference"]
+    assert serialized["vector"] == serialized["reference"]
+    # One validation suffices: the traces are byte-identical.
+    assert validate_execution(reference, graph, rule, start_mode) == []
+
+
+@given(
+    graph=dual_graphs(),
+    algorithm=st.sampled_from(ALGORITHMS),
+    adversary_kind=st.sampled_from(ADVERSARIES),
+    rule=st.sampled_from(list(CollisionRule)),
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=2**16),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    ),
+    max_rounds=st.integers(min_value=0, max_value=30),
+)
+def test_lockstep_equals_per_seed_reference(
+    graph, algorithm, adversary_kind, rule, seeds, max_rounds
+):
+    """A whole seed list in one lockstep call matches per-seed runs —
+    including CR4 with real resolvers (the consult fallback), which the
+    sweep layer routes away but the engine must still get right."""
+    configs = [
+        EngineConfig(collision_rule=rule, max_rounds=max_rounds, seed=s)
+        for s in seeds
+    ]
+    traces = run_lockstep(
+        graph,
+        [make_processes(algorithm, graph.n) for _ in seeds],
+        [build_adversary(adversary_kind, seed=s) for s in seeds],
+        configs,
+    )
+    for seed, trace in zip(seeds, traces):
+        ref = run_one(
+            "reference", graph, algorithm, adversary_kind, rule,
+            StartMode.ASYNCHRONOUS, seed, max_rounds, record=False,
+        )
+        assert trace_to_json(trace) == trace_to_json(ref), seed
+
+
+@given(
+    graph=dual_graphs(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_gossip_observers_agree(graph, seed):
+    """Observer processes (gossip overrides on_reception) keep the full
+    delivery discipline on every engine."""
+    from repro.extensions import run_gossip
+
+    results = {}
+    for engine in ("reference", "fast", "vector"):
+        res = run_gossip(graph, seed=seed, engine=engine, max_rounds=60)
+        results[engine] = (res.completed, res.rounds, res.rumor_counts)
+    assert results["fast"] == results["reference"]
+    assert results["vector"] == results["reference"]

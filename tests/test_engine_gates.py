@@ -1,0 +1,203 @@
+"""Eligibility gates and engine edge cases, fast and vector alike.
+
+One truth table (:func:`repro.sim.fast_engine.mask_engine_eligible`)
+decides when a mask engine is the canonical choice; both public gates
+must agree with it, and the sweep layer's transparent downgrade must
+follow it.  The edge cases — single-seed cells, n=1 graphs, zero-round
+caps — are the places a lockstep implementation is most likely to drift
+from the reference run loop, so they are pinned here for every engine.
+"""
+
+import pytest
+
+from conftest import corpus_graph
+from repro.adversaries import (
+    FullDeliveryAdversary,
+    GreedyInterferer,
+    NoDeliveryAdversary,
+    RandomDeliveryAdversary,
+)
+from repro.core.runner import broadcast
+from repro.experiments import ExperimentSpec
+from repro.experiments.runner import execute_batch, execute_task
+from repro.experiments.spec import plan_batches
+from repro.sim import (
+    CollisionRule,
+    fast_engine_eligible,
+    mask_engine_eligible,
+    trace_to_json,
+    vector_engine_eligible,
+)
+from repro.sim.vector_engine import have_numpy
+
+ENGINES = ("reference", "fast", "vector")
+MASK_RULES = [CollisionRule.CR1, CollisionRule.CR2, CollisionRule.CR3]
+
+#: (adversary factory, has a real CR4 resolver) — the truth table's
+#: second axis.  ``None`` stands for the engine-default adversary.
+ADVERSARY_CASES = [
+    (lambda: None, False),
+    (NoDeliveryAdversary, False),
+    (FullDeliveryAdversary, False),
+    (GreedyInterferer, True),
+    (lambda: RandomDeliveryAdversary(0.5, cr4_mode="random"), True),
+    # cr4_mode="silence" still *overrides* resolve_cr4 at the class
+    # level, so the type-based gate must treat it as a real resolver.
+    (lambda: RandomDeliveryAdversary(0.5), True),
+]
+
+
+class TestSharedTruthTable:
+    @pytest.mark.parametrize("make_adv,real_resolver", ADVERSARY_CASES)
+    def test_cr1_to_cr3_always_eligible(self, make_adv, real_resolver):
+        for rule in MASK_RULES:
+            adv = make_adv()
+            assert mask_engine_eligible(rule, adv)
+            assert fast_engine_eligible(rule, adv)
+            assert vector_engine_eligible(rule, adv) == have_numpy()
+
+    @pytest.mark.parametrize("make_adv,real_resolver", ADVERSARY_CASES)
+    def test_cr4_eligible_iff_default_resolver(
+        self, make_adv, real_resolver
+    ):
+        adv = make_adv()
+        expected = not real_resolver
+        assert mask_engine_eligible(CollisionRule.CR4, adv) == expected
+        assert fast_engine_eligible(CollisionRule.CR4, adv) == expected
+        assert vector_engine_eligible(CollisionRule.CR4, adv) == (
+            expected and have_numpy()
+        )
+
+    def test_gates_are_thin_wrappers(self):
+        """The public gates never disagree with the shared table."""
+        for rule in CollisionRule:
+            for make_adv, _ in ADVERSARY_CASES:
+                adv = make_adv()
+                shared = mask_engine_eligible(rule, adv)
+                assert fast_engine_eligible(rule, adv) == shared
+                assert vector_engine_eligible(rule, adv) == (
+                    shared and have_numpy()
+                )
+
+
+def _one_cell_spec(engine, seeds, collision_rule="CR4",
+                   adversary="none", n=8, max_rounds=None):
+    return ExperimentSpec(
+        name="gates",
+        algorithms=["round_robin"],
+        graphs=[("line", n)],
+        adversaries=[adversary],
+        collision_rules=[collision_rule],
+        engines=[engine],
+        seeds=seeds,
+        max_rounds=max_rounds,
+    )
+
+
+def test_repro_sim_does_not_eagerly_import_numpy():
+    """reference/fast-only consumers — CLI startup and every sweep pool
+    worker — must not pay the NumPy import; the vector exports resolve
+    lazily (PEP 562) on first use."""
+    import os
+    import subprocess
+    import sys
+
+    code = (
+        "import sys\n"
+        "import repro.sim, repro.sim.engine, repro.sim.fast_engine\n"
+        "assert 'numpy' not in sys.modules, 'eager numpy import'\n"
+        "from repro.sim import build_engine, fast_engine_eligible\n"
+        "assert 'numpy' not in sys.modules, 'eager numpy import'\n"
+        "from repro.sim import vector_engine_eligible  # lazy resolve\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env=dict(os.environ),
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+class TestSweepRouting:
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    def test_cr4_default_resolver_stays_on_mask_engine(self, engine):
+        task = _one_cell_spec(engine, [0], adversary="none").tasks()[0]
+        assert execute_task(task).engine == engine
+
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    def test_cr4_real_adversary_falls_back(self, engine):
+        task = _one_cell_spec(engine, [0], adversary="greedy").tasks()[0]
+        record = execute_task(task)
+        assert record.engine == "reference"
+        # Transparent: the science matches the reference record.
+        ref = execute_task(
+            _one_cell_spec("reference", [0], adversary="greedy").tasks()[0]
+        )
+        assert record.completion_round == ref.completion_round
+        assert record.total_transmissions == ref.total_transmissions
+
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    def test_cr4_real_adversary_batch_falls_back(self, engine):
+        """The batched path takes the same downgrade as the per-task
+        path — including the vector cell's lockstep gate."""
+        spec = _one_cell_spec(engine, range(3), adversary="greedy")
+        (batch,) = plan_batches(spec.tasks())
+        records = execute_batch(batch)
+        assert [r.engine for r in records] == ["reference"] * 3
+        assert records == [execute_task(t) for t in batch.tasks]
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    def test_single_seed_cell(self, engine):
+        """A one-seed batch (lockstep of one lane) matches per-task."""
+        spec = _one_cell_spec(engine, [5], collision_rule="CR3")
+        (batch,) = plan_batches(spec.tasks())
+        assert len(batch) == 1
+        assert execute_batch(batch) == [execute_task(batch.tasks[0])]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_single_node_graph(self, engine):
+        """n=1: the source is informed before round 1, and run() still
+        executes exactly one round before noticing."""
+        graph = corpus_graph("line", 1)
+        trace = broadcast(
+            graph, "round_robin", engine=engine, max_rounds=5
+        )
+        assert trace.completed
+        assert trace.num_rounds == 1
+        assert trace.informed_round == {0: 0}
+        ref = broadcast(
+            corpus_graph("line", 1), "round_robin",
+            engine="reference", max_rounds=5,
+        )
+        assert trace_to_json(trace) == trace_to_json(ref)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_zero_round_cap(self, engine):
+        """max_rounds=0 executes nothing; completion reflects the
+        pre-round state (false for n>1, true for n=1)."""
+        trace = broadcast(
+            corpus_graph("line", 4), "round_robin",
+            engine=engine, max_rounds=0,
+        )
+        assert trace.num_rounds == 0
+        assert not trace.completed
+        solo = broadcast(
+            corpus_graph("line", 1), "round_robin",
+            engine=engine, max_rounds=0,
+        )
+        assert solo.num_rounds == 0
+        assert solo.completed
+
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    def test_zero_round_cap_through_sweep(self, engine):
+        spec = _one_cell_spec(
+            engine, range(2), collision_rule="CR3", max_rounds=0
+        )
+        (batch,) = plan_batches(spec.tasks())
+        records = execute_batch(batch)
+        assert [r.rounds for r in records] == [0, 0]
+        assert not any(r.completed for r in records)
+        assert records == [execute_task(t) for t in batch.tasks]

@@ -1,18 +1,22 @@
-"""Differential equivalence: FastBroadcastEngine vs BroadcastEngine.
+"""Differential equivalence: the mask engines vs BroadcastEngine.
 
-The fast engine's contract (docs/ARCHITECTURE.md) is that it is a
-drop-in replacement producing **bit-identical traces** for the same
-(network, processes, adversary, config, seed).  This harness runs both
-engines seed for seed across algorithms × graph families × collision
-rules and asserts full trace equality — round records, informed rounds,
-activation order, completion — plus the engine-neutrality guarantee at
-the sweep layer (same records regardless of the engines axis).
+The fast and vector engines' contract (docs/ARCHITECTURE.md) is that
+they are drop-in replacements producing **bit-identical traces** for the
+same (network, processes, adversary, config, seed).  This harness runs
+all three engines seed for seed across algorithms × the shared graph
+corpus × collision rules and asserts full trace equality — round
+records, informed rounds, activation order, completion — plus the
+engine-neutrality guarantee at the sweep layer (same records regardless
+of the engines axis).  The property-based companion is
+``tests/test_engine_fuzz.py``; the vector engine's lockstep-specific
+behaviour is covered in ``tests/test_vector_engine.py``.
 """
 
 import itertools
 
 import pytest
 
+from conftest import corpus_graph, scripted_processes
 from repro.adversaries import (
     FullDeliveryAdversary,
     GreedyInterferer,
@@ -21,17 +25,16 @@ from repro.adversaries import (
 )
 from repro.core.runner import broadcast, make_processes
 from repro.experiments import ExperimentSpec, SweepRunner
-from repro.experiments.registry import build_adversary, build_graph
+from repro.experiments.registry import build_adversary
 from repro.experiments.runner import execute_task
 from repro.extensions import run_gossip
-from repro.graphs import line
 from repro.sim import (
     BroadcastEngine,
     CollisionRule,
     EngineConfig,
     FastBroadcastEngine,
-    ScriptedProcess,
     StartMode,
+    VectorBroadcastEngine,
     build_engine,
     fast_engine_eligible,
     validate_execution,
@@ -40,35 +43,42 @@ from repro.sim import (
 ALGORITHMS = ["round_robin", "harmonic", "strong_select"]
 GRAPHS = ["line", "gnp", "clique-bridge"]
 MASK_RULES = [CollisionRule.CR1, CollisionRule.CR2, CollisionRule.CR3]
+ENGINES = ("reference", "fast", "vector")
 
 
-def assert_traces_identical(ref, fast):
+def assert_traces_identical(ref, other):
     """Field-by-field trace equality (Message/Reception compare by value)."""
-    assert ref.network_name == fast.network_name
-    assert ref.n == fast.n
-    assert ref.proc == fast.proc
-    assert ref.completed == fast.completed
-    assert ref.informed_round == fast.informed_round
-    assert len(ref.rounds) == len(fast.rounds)
-    for r, f in zip(ref.rounds, fast.rounds):
+    assert ref.network_name == other.network_name
+    assert ref.n == other.n
+    assert ref.proc == other.proc
+    assert ref.completed == other.completed
+    assert ref.informed_round == other.informed_round
+    assert len(ref.rounds) == len(other.rounds)
+    for r, f in zip(ref.rounds, other.rounds):
         assert r == f, f"round {r.round_number} diverged"
 
 
-def run_both(algorithm, graph_kind, n, adversary_kind, rule, seed, **cfg):
-    traces = []
-    for engine in ("reference", "fast"):
-        graph = build_graph(graph_kind, n, seed=seed)
+def assert_all_identical(traces):
+    """The reference trace equals every mask engine's trace."""
+    for engine in ENGINES[1:]:
+        assert_traces_identical(traces["reference"], traces[engine])
+
+
+def run_engines(algorithm, graph_kind, n, adversary_kind, rule, seed,
+                **cfg):
+    """One trace per engine, same (cached) corpus graph and fresh RNGs."""
+    traces = {}
+    for engine in ENGINES:
+        graph = corpus_graph(graph_kind, n, seed=seed)
         adversary = build_adversary(adversary_kind, seed=seed)
-        traces.append(
-            broadcast(
-                graph,
-                algorithm,
-                adversary=adversary,
-                seed=seed,
-                engine=engine,
-                collision_rule=rule,
-                **cfg,
-            )
+        traces[engine] = broadcast(
+            graph,
+            algorithm,
+            adversary=adversary,
+            seed=seed,
+            engine=engine,
+            collision_rule=rule,
+            **cfg,
         )
     return traces
 
@@ -77,12 +87,11 @@ def run_both(algorithm, graph_kind, n, adversary_kind, rule, seed, **cfg):
 @pytest.mark.parametrize("graph_kind", GRAPHS)
 @pytest.mark.parametrize("rule", MASK_RULES)
 def test_differential_grid(algorithm, graph_kind, rule):
-    """3 algorithms × 3 graph families × CR1–CR3, several seeds each."""
+    """3 algorithms × the graph corpus × CR1–CR3, several seeds each."""
     for seed in (0, 1, 7):
-        ref, fast = run_both(
-            algorithm, graph_kind, 17, "greedy", rule, seed
+        assert_all_identical(
+            run_engines(algorithm, graph_kind, 17, "greedy", rule, seed)
         )
-        assert_traces_identical(ref, fast)
 
 
 @pytest.mark.parametrize(
@@ -92,68 +101,70 @@ def test_differential_cr4(adversary_kind):
     """CR4 parity: default-silence fast path and the per-message
     fallback (custom resolvers) both reproduce the reference traces."""
     for seed in (0, 3):
-        ref, fast = run_both(
-            "harmonic", "gnp", 17, adversary_kind, CollisionRule.CR4, seed
+        assert_all_identical(
+            run_engines(
+                "harmonic", "gnp", 17, adversary_kind,
+                CollisionRule.CR4, seed,
+            )
         )
-        assert_traces_identical(ref, fast)
 
 
 def test_differential_cr4_stateful_resolver():
     """A resolver drawing randomness per consultation is consulted in
-    the same order with the same arrival lists by both engines."""
-    traces = []
-    for engine in ("reference", "fast"):
-        graph = build_graph("hard-line", 17, seed=5)
+    the same order with the same arrival lists by every engine."""
+    traces = {}
+    for engine in ENGINES:
+        graph = corpus_graph("hard-line", 17, seed=5)
         adversary = RandomDeliveryAdversary(0.6, seed=5, cr4_mode="random")
-        traces.append(
-            broadcast(
-                graph,
-                "harmonic",
-                adversary=adversary,
-                seed=5,
-                engine=engine,
-                collision_rule=CollisionRule.CR4,
-            )
+        traces[engine] = broadcast(
+            graph,
+            "harmonic",
+            adversary=adversary,
+            seed=5,
+            engine=engine,
+            collision_rule=CollisionRule.CR4,
         )
-    assert_traces_identical(*traces)
+    assert_all_identical(traces)
 
 
 @pytest.mark.parametrize("rule", MASK_RULES + [CollisionRule.CR4])
 def test_differential_with_recorded_receptions(rule):
     """Recording mode: per-node receptions match for every node."""
-    ref, fast = run_both(
+    traces = run_engines(
         "harmonic", "clique-bridge", 9, "greedy", rule, 2,
         record_receptions=True,
     )
-    assert_traces_identical(ref, fast)
-    for r, f in zip(ref.rounds, fast.rounds):
-        assert r.receptions == f.receptions
+    assert_all_identical(traces)
+    for engine in ENGINES[1:]:
+        for r, f in zip(traces["reference"].rounds, traces[engine].rounds):
+            assert r.receptions == f.receptions
 
 
 def test_differential_synchronous_start():
-    ref, fast = run_both(
-        "strong_select", "gnp", 17, "greedy", CollisionRule.CR2, 4,
-        start_mode=StartMode.SYNCHRONOUS,
+    assert_all_identical(
+        run_engines(
+            "strong_select", "gnp", 17, "greedy", CollisionRule.CR2, 4,
+            start_mode=StartMode.SYNCHRONOUS,
+        )
     )
-    assert_traces_identical(ref, fast)
 
 
-def test_fast_trace_passes_independent_validation():
-    """The fast engine's recorded executions satisfy the Section 2.1
-    semantics checker (which shares no code with either engine)."""
+@pytest.mark.parametrize("engine", ENGINES[1:])
+def test_mask_trace_passes_independent_validation(engine, tiny_gnp):
+    """The mask engines' recorded executions satisfy the Section 2.1
+    semantics checker (which shares no code with any engine)."""
     for rule in MASK_RULES:
-        graph = build_graph("gnp", 17, seed=1)
         trace = broadcast(
-            graph,
+            tiny_gnp,
             "harmonic",
             adversary=GreedyInterferer(),
             seed=1,
-            engine="fast",
+            engine=engine,
             collision_rule=rule,
             record_receptions=True,
         )
         violations = validate_execution(
-            trace, graph, rule, StartMode.ASYNCHRONOUS
+            trace, tiny_gnp, rule, StartMode.ASYNCHRONOUS
         )
         assert violations == []
 
@@ -162,15 +173,12 @@ def test_payload_free_transmissions_match():
     """ScriptedProcess None-payload messages (the Theorem-12 trick)
     exercise the payload-identity fallback identically."""
     n = 6
-    traces = []
-    for engine in ("reference", "fast"):
-        network = line(n)
-        processes = [
-            ScriptedProcess(
-                uid, send_rounds=range(1, 12), send_without_message=True
-            )
-            for uid in range(n)
-        ]
+    traces = {}
+    for engine in ENGINES:
+        network = corpus_graph("line", n)
+        processes = scripted_processes(
+            n, rounds=range(1, 12), send_without_message=True
+        )
         config = EngineConfig(
             collision_rule=CollisionRule.CR1,
             start_mode=StartMode.SYNCHRONOUS,
@@ -180,39 +188,41 @@ def test_payload_free_transmissions_match():
         sim = build_engine(
             network, processes, FullDeliveryAdversary(), config
         )
-        traces.append(sim.run())
-    assert_traces_identical(*traces)
+        traces[engine] = sim.run()
+    assert_all_identical(traces)
 
 
-def test_gossip_runs_on_fast_engine():
+@pytest.mark.parametrize("engine", ENGINES[1:])
+def test_gossip_runs_on_mask_engines(engine, tiny_line):
     """Observer processes (gossip overrides on_reception) keep the full
     delivery discipline and reach the same result."""
-    ref = run_gossip(line(9), seed=3)
-    fast = run_gossip(line(9), seed=3, engine="fast")
-    assert fast.completed and ref.completed
-    assert fast.rounds == ref.rounds
-    assert fast.rumor_counts == ref.rumor_counts
+    ref = run_gossip(tiny_line, seed=3)
+    other = run_gossip(tiny_line, seed=3, engine=engine)
+    assert other.completed and ref.completed
+    assert other.rounds == ref.rounds
+    assert other.rumor_counts == ref.rumor_counts
 
 
 # ----------------------------------------------------------------------
 # Selector plumbing
 # ----------------------------------------------------------------------
-def test_build_engine_dispatch():
-    network = line(5)
+def test_build_engine_dispatch(tiny_line):
+    n = tiny_line.n
     for name, cls in [
         ("reference", BroadcastEngine),
         ("fast", FastBroadcastEngine),
+        ("vector", VectorBroadcastEngine),
     ]:
         engine = build_engine(
-            network,
-            make_processes("round_robin", 5),
+            tiny_line,
+            make_processes("round_robin", n),
             config=EngineConfig(engine=name),
         )
         assert type(engine) is cls
     with pytest.raises(ValueError, match="unknown engine"):
         build_engine(
-            network,
-            make_processes("round_robin", 5),
+            tiny_line,
+            make_processes("round_robin", n),
             config=EngineConfig(engine="warp"),
         )
 
@@ -235,69 +245,78 @@ def test_task_key_and_seed_engine_invariants():
         algorithms=["round_robin"],
         graphs=[("line", 8)],
         collision_rules=["CR3"],
-        engines=["reference", "fast"],
+        engines=["reference", "fast", "vector"],
         seeds=[0],
     )
-    ref_task, fast_task = spec.tasks()
+    ref_task, fast_task, vector_task = spec.tasks()
     assert ref_task.engine == "reference"
     assert fast_task.engine == "fast"
+    assert vector_task.engine == "vector"
     # Reference keys are unchanged from pre-engine sweeps (resume
-    # compatibility); fast keys are namespaced.
+    # compatibility); mask-engine keys are namespaced.
     assert "eng-" not in ref_task.key
     assert fast_task.key == f"{ref_task.key}/eng-fast"
+    assert vector_task.key == f"{ref_task.key}/eng-vector"
     # The seed is derived from the science key: engine-independent.
     assert ref_task.science_key == fast_task.science_key
+    assert ref_task.science_key == vector_task.science_key
     assert ref_task.derived_seed == fast_task.derived_seed
+    assert ref_task.derived_seed == vector_task.derived_seed
 
 
 def test_sweep_records_are_engine_neutral():
-    """engines=[reference, fast] yields pairwise-identical science."""
+    """engines=[reference, fast, vector] yields identical science."""
     spec = ExperimentSpec(
         name="neutral",
         algorithms=["harmonic", "round_robin"],
         graphs=[("line", 9), ("clique-bridge", 9)],
         adversaries=["greedy"],
         collision_rules=["CR2", "CR4"],
-        engines=["reference", "fast"],
+        engines=["reference", "fast", "vector"],
         seeds=[0, 1],
     )
     result = SweepRunner(spec).run()
     by_key = {r.key: r for r in result.records}
-    fast_records = [r for r in result.records if "eng-fast" in r.key]
-    assert len(fast_records) == spec.size // 2
-    for fast_record in fast_records:
-        ref_record = by_key[fast_record.key.replace("/eng-fast", "")]
-        assert ref_record.completed == fast_record.completed
-        assert ref_record.completion_round == fast_record.completion_round
-        assert ref_record.rounds == fast_record.rounds
-        assert (
-            ref_record.total_transmissions
-            == fast_record.total_transmissions
-        )
+    for engine in ("fast", "vector"):
+        engine_records = [
+            r for r in result.records if f"eng-{engine}" in r.key
+        ]
+        assert len(engine_records) == spec.size // 3
+        for record in engine_records:
+            ref_record = by_key[record.key.replace(f"/eng-{engine}", "")]
+            assert ref_record.completed == record.completed
+            assert ref_record.completion_round == record.completion_round
+            assert ref_record.rounds == record.rounds
+            assert (
+                ref_record.total_transmissions
+                == record.total_transmissions
+            )
 
 
-def test_execute_task_transparent_fallback():
-    """A fast-engine task ineligible under CR4 records the reference
-    engine; eligible combinations record the fast engine."""
+@pytest.mark.parametrize("engine", ENGINES[1:])
+def test_execute_task_transparent_fallback(engine):
+    """A mask-engine task ineligible under CR4 records the reference
+    engine; eligible combinations record the requested engine."""
     spec = ExperimentSpec(
         name="fallback",
         algorithms=["round_robin"],
         graphs=[("line", 8)],
         adversaries=["greedy"],
         collision_rules=["CR3", "CR4"],
-        engines=["fast"],
+        engines=[engine],
         seeds=[0],
     )
     cr3_task, cr4_task = spec.tasks()
-    assert execute_task(cr3_task).engine == "fast"
+    assert execute_task(cr3_task).engine == engine
     assert execute_task(cr4_task).engine == "reference"
 
 
 def test_differential_bulk_cross_product():
     """A broad shallow sweep: every (algorithm, graph, rule) cell of the
-    advertised support matrix at one seed."""
+    advertised support matrix at one seed, all three engines."""
     for algorithm, graph_kind, rule in itertools.product(
         ALGORITHMS, GRAPHS, MASK_RULES
     ):
-        ref, fast = run_both(algorithm, graph_kind, 9, "full", rule, 11)
-        assert_traces_identical(ref, fast)
+        assert_all_identical(
+            run_engines(algorithm, graph_kind, 9, "full", rule, 11)
+        )
