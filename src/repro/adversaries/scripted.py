@@ -76,9 +76,22 @@ class ReplayAdversary(Adversary):
             resolutions should be replayed; deliveries alone need only
             the default records).
         replay_proc: Reuse the recorded node → uid assignment.
+        strict: Treat divergence from the recorded execution as an
+            error: a recorded CR4 message reception whose sender's
+            message is *not* among the new execution's arrivals raises
+            instead of silently resolving to silence.  The default
+            (lenient) behaviour supports replaying against a different
+            algorithm; strict mode is what replay *certification* wants
+            — same algorithm, same seed, any mismatch is a bug
+            (:func:`repro.search.evaluate.verify_replay` relies on it).
     """
 
-    def __init__(self, trace: ExecutionTrace, replay_proc: bool = True) -> None:
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        replay_proc: bool = True,
+        strict: bool = False,
+    ) -> None:
         self._deliveries: Dict[int, Dict[int, FrozenSet[int]]] = {
             rec.round_number: dict(rec.unreliable_deliveries)
             for rec in trace.rounds
@@ -87,6 +100,7 @@ class ReplayAdversary(Adversary):
             rec.round_number: rec.receptions for rec in trace.rounds
         }
         self._proc = dict(trace.proc) if replay_proc else None
+        self._strict = strict
 
     def assign_processes(self, network, uids):
         if self._proc is None:
@@ -120,4 +134,10 @@ class ReplayAdversary(Adversary):
         for msg in arrivals:
             if msg.sender == recorded.message.sender:
                 return msg
+        if self._strict:
+            raise ValueError(
+                f"replay diverged: round {view.round_number} recorded a "
+                f"CR4 delivery from sender {recorded.message.sender} at "
+                f"node {node}, but no such message arrived"
+            )
         return None

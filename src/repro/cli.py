@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -32,12 +33,25 @@ from repro.experiments import (
     ExperimentSpec,
     SweepResult,
     SweepRunner,
+    adversary_descriptions,
     adversary_kinds,
     build_adversary,
     build_graph,
+    graph_descriptions,
     graph_kinds,
     load_specs,
 )
+
+#: One-liners for ``repro list`` (algorithms have no registry
+#: descriptions; the registered names come from repro.core.runner).
+_ALGORITHM_DESCRIPTIONS = {
+    "strong_select": "deterministic Strong Select (Section 5)",
+    "strong_select_ks": "Strong Select on Kautz singleton SSFs",
+    "harmonic": "randomized Harmonic Broadcast (Section 6)",
+    "round_robin": "uids transmit in fixed rotation",
+    "decay": "classical Decay baseline",
+    "uniform": "transmit each round with probability 1/n",
+}
 
 
 def _build_graph_or_exit(name: str, n: int, seed: int):
@@ -47,8 +61,19 @@ def _build_graph_or_exit(name: str, n: int, seed: int):
         raise SystemExit(str(exc))
 
 
-def _build_adversary_or_exit(args):
-    params = {"p": args.p} if args.adversary == "random" else {}
+def _adversary_params(adversary: str, args, n: int) -> dict:
+    """The extra factory params an inline CLI adversary choice needs."""
+    if adversary == "random":
+        return {"p": args.p}
+    if adversary == "pivot":
+        # PivotAdversary is built from the pivot-layers layout for the
+        # run's network size.
+        return {"n": n}
+    return {}
+
+
+def _build_adversary_or_exit(args, n: int):
+    params = _adversary_params(args.adversary, args, n)
     try:
         return build_adversary(args.adversary, seed=args.seed, **params)
     except ValueError as exc:
@@ -60,7 +85,7 @@ def cmd_run(args) -> int:
     trace = broadcast(
         graph,
         args.algorithm,
-        adversary=_build_adversary_or_exit(args),
+        adversary=_build_adversary_or_exit(args, args.n),
         seed=args.seed,
         max_rounds=args.max_rounds,
         engine=args.engine,
@@ -89,13 +114,21 @@ def _legacy_spec(args) -> ExperimentSpec:
             f"unknown adversary {args.adversary!r}; "
             f"choose from {adversary_kinds()}"
         )
-    params = {"p": args.p} if args.adversary == "random" else {}
+    sizes = [int(s) for s in args.sizes.split(",")]
+    if args.adversary == "pivot" and len(sizes) > 1:
+        # The pivot adversary is built per network size; one spec entry
+        # cannot cover a size grid.  Spec files can (one adversary
+        # entry per size); the inline form takes a single --sizes.
+        raise SystemExit(
+            "--adversary pivot needs a single --sizes value "
+            "(its layout is built per network size); use a spec file "
+            "for grids"
+        )
+    params = _adversary_params(args.adversary, args, sizes[0])
     return ExperimentSpec(
         name=f"{args.algorithm}-{args.graph}",
         algorithms=[args.algorithm],
-        graphs=[
-            (args.graph, int(s)) for s in args.sizes.split(",")
-        ],
+        graphs=[(args.graph, n) for n in sizes],
         adversaries=[(args.adversary, params)],
         engines=[args.engine or "reference"],
         seeds=[int(s) for s in args.seeds.split(",")],
@@ -172,6 +205,137 @@ def cmd_sweep(args) -> int:
     )
     _print_growth_fits(result)
     return 0 if not result.failures else 1
+
+
+def cmd_list(args) -> int:
+    """Print every registered kind with its one-line description."""
+    from repro.search import searcher_descriptions
+
+    sections = [
+        ("graph kinds", graph_descriptions()),
+        ("adversary kinds", adversary_descriptions()),
+        (
+            "algorithms",
+            {
+                name: _ALGORITHM_DESCRIPTIONS.get(name, "")
+                for name in algorithm_names()
+            },
+        ),
+        ("searcher kinds (repro search)", searcher_descriptions()),
+    ]
+    for title, table in sections:
+        print(
+            render_table(
+                ["kind", "description"],
+                [[kind, desc] for kind, desc in sorted(table.items())],
+                title=title,
+            )
+        )
+    return 0
+
+
+def _search_settings(args) -> "SearchSettings":  # noqa: F821
+    from repro.search import SearchSettings
+
+    kind = args.graph
+    if kind not in graph_kinds():
+        # Accept underscore spellings of registered hyphenated kinds.
+        dashed = kind.replace("_", "-")
+        if dashed in graph_kinds():
+            kind = dashed
+        else:
+            raise SystemExit(
+                f"unknown graph {args.graph!r}; choose from "
+                f"{graph_kinds()}"
+            )
+    if args.algorithm not in algorithm_names():
+        raise SystemExit(
+            f"unknown algorithm {args.algorithm!r}; choose from "
+            f"{algorithm_names()}"
+        )
+    return SearchSettings(
+        algorithm=args.algorithm,
+        graph_kind=kind,
+        n=args.n,
+        collision_rule=args.cr,
+        start_mode=args.start_mode,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        engine=args.engine,
+    )
+
+
+def cmd_search(args) -> int:
+    from repro.search import (
+        SearchBudget,
+        run_search,
+        supports_theorem2,
+        theorem2_comparison,
+    )
+
+    settings = _search_settings(args)
+    try:
+        result = run_search(
+            settings,
+            searcher=args.searcher,
+            budget=SearchBudget(
+                evaluations=args.budget, batch_size=args.batch_size
+            ),
+            seed=args.search_seed,
+            workers=args.workers,
+            results_path=args.results,
+            verify=args.verify,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    if result.skipped_lines:
+        print(
+            f"warning: {args.results} held {result.skipped_lines} "
+            "unparsable line(s) (torn or foreign); their candidates "
+            "were re-run",
+            file=sys.stderr,
+        )
+    comparison = None
+    if args.compare_theorem2:
+        if supports_theorem2(settings):
+            comparison = theorem2_comparison(result)
+        else:
+            print(
+                f"warning: --compare-theorem2 skipped: graph kind "
+                f"{settings.graph_kind!r} is not in the Theorem-2 "
+                "clique-bridge family",
+                file=sys.stderr,
+            )
+    if args.json:
+        doc = result.summary()
+        if comparison is not None:
+            doc["theorem2"] = dataclasses.asdict(comparison)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        rows = result.table_rows()
+        if result.replay_verified is not None:
+            rows.append(["replay verified", result.replay_verified])
+        print(
+            render_table(
+                ["quantity", "value"],
+                rows,
+                title=f"adversary search: {args.searcher} vs "
+                f"{settings.algorithm} on {settings.graph_kind} "
+                f"(n={settings.n}, {settings.collision_rule}, "
+                f"{result.executed} run, {result.resumed} resumed, "
+                f"{result.elapsed:.1f}s)",
+            )
+        )
+        if comparison is not None:
+            print(
+                render_table(
+                    ["quantity", "value"],
+                    comparison.table_rows(),
+                    title="search vs Theorem 2",
+                )
+            )
+    return 0 if result.replay_verified is not False else 1
 
 
 def cmd_lowerbound(args) -> int:
@@ -321,6 +485,82 @@ def build_parser() -> argparse.ArgumentParser:
         "records are identical either way",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    lister = sub.add_parser(
+        "list",
+        help="list registered graph/adversary/algorithm/searcher kinds",
+    )
+    lister.set_defaults(func=cmd_list)
+
+    search = sub.add_parser(
+        "search",
+        help="search for a worst-case adversary strategy "
+        "(see docs/SEARCH.md)",
+    )
+    search.add_argument("--graph", default="clique-bridge",
+                        help=f"{graph_kinds()}")
+    search.add_argument("--n", type=int, default=16)
+    search.add_argument(
+        "--algorithm", default="round_robin",
+        help=f"{algorithm_names()}",
+    )
+    search.add_argument(
+        "--cr", default="CR1", choices=["CR1", "CR2", "CR3", "CR4"],
+        help="collision rule the candidates are scored under",
+    )
+    search.add_argument(
+        "--start-mode", default="synchronous",
+        choices=["synchronous", "asynchronous"],
+        help="start rule (lower-bound constructions use synchronous)",
+    )
+    search.add_argument(
+        "--searcher", default="random",
+        help="searcher kind (see `repro list`)",
+    )
+    search.add_argument(
+        "--budget", type=int, default=64,
+        help="total candidate evaluations (across resumes)",
+    )
+    search.add_argument(
+        "--batch-size", type=int, default=8,
+        help="candidates generated and evaluated per iteration",
+    )
+    search.add_argument(
+        "--seed", type=int, default=0,
+        help="cell seed: engine randomness derives from it",
+    )
+    search.add_argument(
+        "--search-seed", type=int, default=0,
+        help="seed of the candidate-generation rng",
+    )
+    search.add_argument("--max-rounds", type=int, default=None)
+    search.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel evaluation processes (default 1: in-process)",
+    )
+    search.add_argument(
+        "--results", default=None,
+        help="JSON-lines candidate file; existing evaluations are "
+        "resumed by key rather than re-run",
+    )
+    search.add_argument(
+        "--engine", choices=["auto", "reference", "fast"],
+        default="auto",
+        help="evaluation engine: auto picks the fast engine whenever "
+        "the candidate's adversary is mask-eligible",
+    )
+    search.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="replay-certify the best genome through a strict "
+        "ReplayAdversary on the reference engine (--no-verify skips)",
+    )
+    search.add_argument(
+        "--compare-theorem2", action="store_true",
+        help="on clique-bridge cells, also print the found worst case "
+        "next to the Theorem 2 bound and scripted-adversary stall",
+    )
+    search.add_argument("--json", action="store_true")
+    search.set_defaults(func=cmd_search)
 
     lb = sub.add_parser(
         "lowerbound", help="run an executable lower-bound construction"

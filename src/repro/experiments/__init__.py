@@ -23,9 +23,11 @@ count.
 """
 
 from repro.experiments.registry import (
+    adversary_descriptions,
     adversary_kinds,
     build_adversary,
     build_graph,
+    graph_descriptions,
     graph_kinds,
     graph_seed_dependent,
     register_adversary,
@@ -59,11 +61,13 @@ __all__ = [
     "RunTask",
     "SweepResult",
     "SweepRunner",
+    "adversary_descriptions",
     "adversary_kinds",
     "build_adversary",
     "build_graph",
     "execute_batch",
     "execute_task",
+    "graph_descriptions",
     "graph_kinds",
     "graph_seed_dependent",
     "load_specs",

@@ -41,15 +41,17 @@ class RecordMap(Dict[str, RunResult]):
         self.skipped = 0
 
 
-def load_records(path: str) -> RecordMap:
-    """Read a results file into a ``key → RunResult`` map.
+def load_keyed_lines(path: str, parse, records):
+    """Fill a keyed record map from a JSON-lines file, counting damage.
 
-    Missing files yield an empty map; unparsable or incomplete lines
-    are skipped (an interrupted run's final line may be torn) and
-    counted on the returned map's ``skipped`` attribute.  When a key
-    appears twice the later record wins.
+    The generic loop behind :func:`load_records` (and the search
+    subsystem's candidate loader): ``parse`` turns one decoded JSON
+    document into a record carrying a ``.key``; unparsable or
+    incomplete lines — an interrupted run's final line may be torn —
+    bump ``records.skipped`` instead of raising, and when a key appears
+    twice the later record wins.  Missing files leave ``records``
+    empty.  Returns ``records``.
     """
-    records = RecordMap()
     if not os.path.exists(path):
         return records
     with open(path, "r", encoding="utf-8") as f:
@@ -58,12 +60,20 @@ def load_records(path: str) -> RecordMap:
             if not line:
                 continue
             try:
-                record = RunResult.from_dict(json.loads(line))
+                record = parse(json.loads(line))
             except (ValueError, KeyError, TypeError):
                 records.skipped += 1
-                continue  # torn or foreign line — re-run that task
+                continue  # torn or foreign line — re-run its task
             records[record.key] = record
     return records
+
+
+def load_records(path: str) -> RecordMap:
+    """Read a results file into a ``key → RunResult`` map.
+
+    See :func:`load_keyed_lines` for the damage-tolerance semantics.
+    """
+    return load_keyed_lines(path, RunResult.from_dict, RecordMap())
 
 
 def open_for_append(path: str) -> TextIO:
@@ -86,7 +96,11 @@ def open_for_append(path: str) -> TextIO:
     return f
 
 
-def append_record(f: TextIO, record: RunResult) -> None:
-    """Write one record as a JSON line and flush it to disk."""
+def append_record(f: TextIO, record) -> None:
+    """Write one record as a JSON line and flush it to disk.
+
+    Works for any record exposing ``to_dict()`` (sweep results, search
+    candidates).
+    """
     f.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
     f.flush()

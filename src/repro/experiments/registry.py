@@ -26,6 +26,7 @@ from repro.adversaries import (
     FullDeliveryAdversary,
     GreedyInterferer,
     NoDeliveryAdversary,
+    PivotAdversary,
     RandomDeliveryAdversary,
 )
 from repro.graphs import (
@@ -76,6 +77,33 @@ _ADVERSARIES: Dict[str, AdversaryFactory] = {
         p, seed=seed
     ),
     "greedy": lambda seed, **kw: GreedyInterferer(),
+    "pivot": lambda seed, n, **kw: PivotAdversary(
+        pivot_layers_for_n(int(n))
+    ),
+}
+
+#: One-line descriptions rendered by ``repro list`` (and any other
+#: discoverability surface).  Registered custom kinds may supply their
+#: own via ``register_graph`` / ``register_adversary``.
+_GRAPH_DESCRIPTIONS: Dict[str, str] = {
+    "gnp": "Erdős–Rényi dual graph (seed-dependent)",
+    "line": "path graph, reliable edges only",
+    "hard-line": "path graph with complete unreliable overlay",
+    "ring": "cycle graph, reliable edges only",
+    "grid": "~sqrt(n) x sqrt(n) grid, reliable edges only",
+    "gray-zone": "geometric graph with unreliable gray zone (seeded)",
+    "clique-bridge": "Theorem 2 network: clique + bridge + receiver",
+    "clique-bridge-classical": "clique-bridge projected to G = G'",
+    "layered-pairs": "Theorem 12 network: source + width-2 layers",
+    "pivot-layers": "Theorem 11 stand-in: hidden-pivot layer chain",
+}
+
+_ADVERSARY_DESCRIPTIONS: Dict[str, str] = {
+    "none": "never delivers on unreliable links",
+    "full": "always delivers on every unreliable link",
+    "random": "delivers each unreliable edge with probability p",
+    "greedy": "GreedyInterferer: collides lone reliable receptions",
+    "pivot": "PivotAdversary: blankets the next pivot layer (needs n)",
 }
 
 
@@ -89,8 +117,26 @@ def adversary_kinds() -> List[str]:
     return sorted(_ADVERSARIES)
 
 
+def graph_descriptions() -> Dict[str, str]:
+    """One-line description per registered graph kind (may be empty)."""
+    return {
+        kind: _GRAPH_DESCRIPTIONS.get(kind, "") for kind in graph_kinds()
+    }
+
+
+def adversary_descriptions() -> Dict[str, str]:
+    """One-line description per registered adversary kind."""
+    return {
+        kind: _ADVERSARY_DESCRIPTIONS.get(kind, "")
+        for kind in adversary_kinds()
+    }
+
+
 def register_graph(
-    kind: str, factory: GraphFactory, seed_dependent: bool = True
+    kind: str,
+    factory: GraphFactory,
+    seed_dependent: bool = True,
+    description: str = "",
 ) -> None:
     """Register a graph factory ``factory(n, seed, **params)``.
 
@@ -98,13 +144,16 @@ def register_graph(
     with the ``seed`` argument.  It defaults to ``True`` — the safe
     choice, which makes batched sweeps rebuild the graph per seed —
     and should be passed as ``False`` only for factories that ignore
-    the seed, unlocking per-cell graph/topology reuse.
+    the seed, unlocking per-cell graph/topology reuse.  ``description``
+    is the one-liner ``repro list`` prints for the kind.
     """
     if kind in _GRAPHS:
         raise ValueError(f"graph kind {kind!r} already registered")
     _GRAPHS[kind] = factory
     if seed_dependent:
         _SEED_DEPENDENT_GRAPHS.add(kind)
+    if description:
+        _GRAPH_DESCRIPTIONS[kind] = description
 
 
 def graph_seed_dependent(kind: str) -> bool:
@@ -116,11 +165,19 @@ def graph_seed_dependent(kind: str) -> bool:
     return kind in _SEED_DEPENDENT_GRAPHS or kind not in _GRAPHS
 
 
-def register_adversary(kind: str, factory: AdversaryFactory) -> None:
-    """Register an adversary factory ``factory(seed, **params)``."""
+def register_adversary(
+    kind: str, factory: AdversaryFactory, description: str = ""
+) -> None:
+    """Register an adversary factory ``factory(seed, **params)``.
+
+    ``description`` is the one-liner ``repro list`` prints for the
+    kind.
+    """
     if kind in _ADVERSARIES:
         raise ValueError(f"adversary kind {kind!r} already registered")
     _ADVERSARIES[kind] = factory
+    if description:
+        _ADVERSARY_DESCRIPTIONS[kind] = description
 
 
 def build_graph(kind: str, n: int, seed: int = 0, **params) -> DualGraph:

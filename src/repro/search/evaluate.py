@@ -1,0 +1,375 @@
+"""Candidate evaluation: score genomes against one fixed search cell.
+
+A *search cell* (:class:`SearchSettings`) is everything of a sweep task
+except the adversary — algorithm, graph, collision rule, start mode,
+engine seed, round cap.  Evaluation mirrors the batched sweep runner's
+per-cell economics: the graph is built and its
+:class:`~repro.sim.fast_engine.CompiledTopology` compiled **once** per
+:class:`EvaluationContext`, then every candidate genome runs against the
+shared pair — and each run picks the bitmask fast engine when
+:func:`repro.sim.fast_engine.mask_engine_eligible` approves the genome's
+adversary (genomes without CR4 genes), falling back to the reference
+engine otherwise.  ``benchmarks/bench_search.py`` measures the win over
+rebuilding per candidate.
+
+:class:`PopulationEvaluator` adds the parallel fan-out: worker processes
+each build the context once (pool initializer) and stream candidate
+scores back in submission order, so results are deterministic for any
+worker count — the same invariant the sweep runner keeps.
+
+The objective is **stall**: a completed broadcast scores its completion
+round, and an execution still incomplete at the round cap scores
+``cap + 1`` — strictly worse for the algorithm than any completion, so
+maximising the objective searches for worst cases under the cap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runner import make_processes, suggested_round_limit
+from repro.experiments.registry import build_graph
+from repro.experiments.spec import Params, _fmt_params, _freeze_params
+from repro.graphs.dualgraph import DualGraph
+from repro.search.genome import StrategyGenome
+from repro.sim.collision import CollisionRule
+from repro.sim.engine import EngineConfig, StartMode, build_engine
+from repro.sim.fast_engine import (
+    CompiledTopology,
+    compile_topology,
+    fast_engine_eligible,
+)
+from repro.sim.trace import ExecutionTrace
+
+#: Engine preferences accepted by :attr:`SearchSettings.engine`.
+#: ``auto`` takes the fast engine whenever the genome's adversary is
+#: mask-eligible; explicit names force one implementation (an
+#: ineligible ``fast`` request still downgrades, like the sweep layer).
+SEARCH_ENGINES = ("auto", "reference", "fast")
+
+
+@dataclass(frozen=True)
+class SearchSettings:
+    """One search cell: the fixed inputs every candidate is scored on.
+
+    Everything is a primitive (or frozen tuple), so settings pickle to
+    pool workers and serialise into result files.
+    """
+
+    algorithm: str
+    graph_kind: str
+    n: int
+    algorithm_params: Params = ()
+    graph_params: Params = ()
+    collision_rule: str = "CR1"
+    start_mode: str = "synchronous"
+    seed: int = 0
+    max_rounds: Optional[int] = None
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "algorithm_params", _freeze_params(self.algorithm_params)
+        )
+        object.__setattr__(
+            self, "graph_params", _freeze_params(self.graph_params)
+        )
+        if self.collision_rule not in CollisionRule.__members__:
+            raise ValueError(
+                f"unknown collision rule {self.collision_rule!r}; known: "
+                f"{list(CollisionRule.__members__)}"
+            )
+        StartMode(self.start_mode)  # raises ValueError on unknown modes
+        if self.engine not in SEARCH_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"known: {list(SEARCH_ENGINES)}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable cell identifier — the namespace of candidate keys."""
+        parts = [
+            "search",
+            f"{self.algorithm}{_fmt_params(self.algorithm_params)}",
+            f"{self.graph_kind}:n{self.n}"
+            f"{_fmt_params(self.graph_params)}",
+            f"{self.collision_rule}-{self.start_mode}",
+            f"s{self.seed}",
+        ]
+        if self.max_rounds is not None:
+            parts.append(f"cap{self.max_rounds}")
+        return "/".join(parts)
+
+    @property
+    def derived_seed(self) -> int:
+        """The engine seed, derived from the cell key like sweep tasks."""
+        return zlib.crc32(self.key.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """The deterministic outcome of evaluating one genome.
+
+    Attributes:
+        genome: The evaluated strategy.
+        objective: Completion round, or ``cap + 1`` for an execution the
+            cap cut off — higher is a worse case for the algorithm.
+        completed: Whether broadcast finished within the cap.
+        completion_round: The completion round (``None`` if capped).
+        rounds: Rounds actually executed.
+        engine: The engine implementation that ran the evaluation.
+    """
+
+    genome: StrategyGenome
+    objective: int
+    completed: bool
+    completion_round: Optional[int]
+    rounds: int
+    engine: str
+
+
+class EvaluationContext:
+    """Shared per-cell setup: one graph build + topology compile.
+
+    Instances are cheap to evaluate against and safe to reuse across any
+    number of sequential candidate evaluations (the engines only read
+    the compiled topology).  ``graph`` optionally injects an
+    already-built graph for the cell (the harness builds one for the
+    genome space and shares it here) instead of rebuilding.
+    """
+
+    def __init__(
+        self,
+        settings: SearchSettings,
+        graph: Optional[DualGraph] = None,
+    ) -> None:
+        self.settings = settings
+        self.graph: DualGraph = (
+            graph
+            if graph is not None
+            else build_graph(
+                settings.graph_kind,
+                settings.n,
+                seed=settings.seed,
+                **dict(settings.graph_params),
+            )
+        )
+        self.topology: CompiledTopology = compile_topology(self.graph)
+        self.rule = CollisionRule[settings.collision_rule]
+        cap = settings.max_rounds
+        if cap is None:
+            cap = suggested_round_limit(settings.algorithm, self.graph)
+        self.round_cap: int = cap
+
+    def _config(self, engine: str, record: bool = False) -> EngineConfig:
+        return EngineConfig(
+            collision_rule=self.rule,
+            start_mode=StartMode(self.settings.start_mode),
+            max_rounds=self.round_cap,
+            seed=self.settings.derived_seed,
+            record_receptions=record,
+            engine=engine,
+        )
+
+    def _route_engine(self, adversary) -> str:
+        if self.settings.engine == "reference":
+            return "reference"
+        if fast_engine_eligible(self.rule, adversary):
+            return "fast"
+        return "reference"
+
+    def run_genome(
+        self,
+        genome: StrategyGenome,
+        engine: Optional[str] = None,
+        record_receptions: bool = False,
+    ) -> Tuple[ExecutionTrace, str]:
+        """Run one genome and return its trace and the engine used."""
+        adversary = genome.build_adversary()
+        if engine is None:
+            engine = self._route_engine(adversary)
+        processes = make_processes(
+            self.settings.algorithm,
+            self.graph.n,
+            **dict(self.settings.algorithm_params),
+        )
+        eng = build_engine(
+            self.graph,
+            processes,
+            adversary,
+            self._config(engine, record=record_receptions),
+            topology=self.topology,
+        )
+        return eng.run(), engine
+
+    def evaluate(self, genome: StrategyGenome) -> CandidateScore:
+        """Score one genome (see the module docstring's objective)."""
+        trace, engine = self.run_genome(genome)
+        return score_from_trace(genome, trace, self.round_cap, engine)
+
+
+def score_from_trace(
+    genome: StrategyGenome,
+    trace: ExecutionTrace,
+    round_cap: int,
+    engine: str,
+) -> CandidateScore:
+    """Fold one finished trace into the candidate's deterministic score."""
+    objective = (
+        trace.completion_round
+        if trace.completed and trace.completion_round is not None
+        else round_cap + 1
+    )
+    return CandidateScore(
+        genome=genome,
+        objective=objective,
+        completed=trace.completed,
+        completion_round=trace.completion_round,
+        rounds=trace.num_rounds,
+        engine=engine,
+    )
+
+
+def verify_replay(
+    settings: SearchSettings,
+    genome: StrategyGenome,
+    context: Optional[EvaluationContext] = None,
+) -> bool:
+    """Replay-certify a genome on the reference engine.
+
+    Runs the genome with reception recording on the reference engine,
+    replays the recorded trace through a strict
+    :class:`~repro.adversaries.scripted.ReplayAdversary`, and checks the
+    two executions agree round for round (senders, deliveries, informing
+    rounds, completion).  This is the self-certification property search
+    results inherit from the recording machinery.  ``context``
+    optionally reuses an existing cell context instead of rebuilding
+    the graph and topology.
+    """
+    from repro.adversaries.scripted import ReplayAdversary
+
+    ctx = context if context is not None else EvaluationContext(settings)
+    trace, _ = ctx.run_genome(
+        genome, engine="reference", record_receptions=True
+    )
+    processes = make_processes(
+        settings.algorithm, ctx.graph.n, **dict(settings.algorithm_params)
+    )
+    replay_engine = build_engine(
+        ctx.graph,
+        processes,
+        ReplayAdversary(trace, strict=True),
+        ctx._config("reference"),
+        topology=ctx.topology,
+    )
+    replay = replay_engine.run()
+    return (
+        replay.completed == trace.completed
+        and replay.informed_round == trace.informed_round
+        and len(replay.rounds) == len(trace.rounds)
+        and all(
+            a.senders == b.senders
+            and a.unreliable_deliveries == b.unreliable_deliveries
+            and a.newly_informed == b.newly_informed
+            for a, b in zip(replay.rounds, trace.rounds)
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel fan-out
+# ----------------------------------------------------------------------
+_WORKER_CTX: Optional[EvaluationContext] = None
+
+
+def _init_worker(settings: SearchSettings) -> None:
+    """Pool initializer: build the shared cell context once per worker."""
+    global _WORKER_CTX
+    _WORKER_CTX = EvaluationContext(settings)
+
+
+def _evaluate_remote(genome: StrategyGenome) -> CandidateScore:
+    assert _WORKER_CTX is not None, "pool initializer did not run"
+    return _WORKER_CTX.evaluate(genome)
+
+
+class PopulationEvaluator:
+    """Evaluate genome batches against one cell, optionally in parallel.
+
+    Args:
+        settings: The search cell.
+        workers: Worker process count; ``1`` evaluates in-process
+            against a single shared :class:`EvaluationContext`.
+        context: Optional prebuilt in-process context to share (pool
+            workers always build their own in the initializer).
+
+    The pool (and the in-process context, unless injected) is created
+    lazily on the first :meth:`evaluate` call and reused across
+    batches; call :meth:`close` (or use as a context manager) when
+    done.
+    """
+
+    def __init__(
+        self,
+        settings: SearchSettings,
+        workers: int = 1,
+        context: Optional[EvaluationContext] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.settings = settings
+        self.workers = workers
+        self._ctx = context
+        self._pool = None
+
+    def evaluate(
+        self, genomes: Sequence[StrategyGenome]
+    ) -> List[CandidateScore]:
+        """Score a batch, preserving submission order (deterministic)."""
+        if not genomes:
+            return []
+        if self.workers == 1 or len(genomes) == 1:
+            if self._ctx is None:
+                self._ctx = EvaluationContext(self.settings)
+            return [self._ctx.evaluate(g) for g in genomes]
+        if self._pool is None:
+            # Prefer fork so runtime-registered graph kinds reach the
+            # workers, mirroring the sweep runner's policy.
+            methods = multiprocessing.get_all_start_methods()
+            mp = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = mp.Pool(
+                self.workers,
+                initializer=_init_worker,
+                initargs=(self.settings,),
+            )
+        chunk = max(1, len(genomes) // (self.workers * 2))
+        return list(
+            self._pool.imap(_evaluate_remote, genomes, chunksize=chunk)
+        )
+
+    def close(self) -> None:
+        """Release the worker pool, if one was created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PopulationEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Mapping used by callers that need scores keyed by fingerprint.
+def scores_by_fingerprint(
+    scores: Sequence[CandidateScore],
+) -> Dict[str, CandidateScore]:
+    """Index a score list by each genome's content fingerprint."""
+    return {s.genome.fingerprint: s for s in scores}

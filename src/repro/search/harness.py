@@ -1,0 +1,204 @@
+"""The search loop: ask candidates, evaluate, persist, repeat.
+
+:func:`run_search` wires the pieces of the subsystem together::
+
+    settings ──► GenomeSpace ──► Searcher.ask ──► PopulationEvaluator
+                     ▲                               │ (parallel,
+                     │         Searcher.tell ◄───────┘  shared topology)
+                     └──────── JSONL persistence / resume-by-key
+
+Determinism contract: for fixed (settings, searcher kind, seed) the
+candidate sequence, every score, and therefore the returned best are
+identical across invocations, worker counts and resume histories.  The
+rng driving candidate generation is seeded from the cell key + searcher
++ seed; scores are pure functions of (genome, settings); and resumed
+scores are verified against the regenerated genome's fingerprint before
+being trusted (mismatches are re-evaluated, so a foreign results file
+degrades to extra work, never to wrong results).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, List, Optional
+
+from repro.experiments.registry import build_graph
+from repro.search.evaluate import (
+    CandidateScore,
+    EvaluationContext,
+    PopulationEvaluator,
+    SearchSettings,
+    verify_replay,
+)
+from repro.search.genome import GenomeSpace
+from repro.search.persist import (
+    CandidateRecord,
+    SearchBudget,
+    SearchResult,
+    append_candidate,
+    candidate_key,
+    load_candidates,
+    open_for_append,
+)
+from repro.search.searchers import build_searcher
+from repro.sim.collision import CollisionRule
+
+#: Called after each evaluated batch with (best_so_far, done, total).
+ProgressCallback = Callable[[CandidateScore, int, int], None]
+
+
+def make_space(
+    settings: SearchSettings,
+    horizon: Optional[int] = None,
+    cr4_genes: Optional[bool] = None,
+) -> GenomeSpace:
+    """The genome space induced by a search cell.
+
+    The horizon defaults to the cell's round cap (every round the
+    engine can execute gets a delivery gene slot); CR4 resolution genes
+    default to on exactly under CR4 — the only rule where they exist.
+    """
+    graph = build_graph(
+        settings.graph_kind,
+        settings.n,
+        seed=settings.seed,
+        **dict(settings.graph_params),
+    )
+    if horizon is None:
+        from repro.core.runner import suggested_round_limit
+
+        horizon = settings.max_rounds
+        if horizon is None:
+            horizon = suggested_round_limit(settings.algorithm, graph)
+    if cr4_genes is None:
+        cr4_genes = (
+            CollisionRule[settings.collision_rule] is CollisionRule.CR4
+        )
+    return GenomeSpace(graph, horizon=horizon, cr4_genes=cr4_genes)
+
+
+def run_search(
+    settings: SearchSettings,
+    searcher: str = "random",
+    budget: SearchBudget = SearchBudget(evaluations=64),
+    seed: int = 0,
+    workers: int = 1,
+    results_path: Optional[str] = None,
+    verify: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> SearchResult:
+    """Run one adversary search and return its best candidate.
+
+    Args:
+        settings: The search cell (algorithm, graph, CR, start mode …).
+        searcher: Registered searcher kind
+            (:func:`repro.search.searchers.searcher_kinds`).
+        budget: Evaluation budget and batch size.
+        seed: Search seed driving candidate generation (the engine seed
+            is derived from the cell, independently — two searches with
+            different seeds explore differently but score identically).
+        workers: Parallel evaluation processes.
+        results_path: Optional JSON-lines file; previously persisted
+            candidates are resumed by key instead of re-evaluated, and
+            fresh scores are appended as they arrive.
+        verify: Also replay-certify the best genome through a strict
+            :class:`~repro.adversaries.scripted.ReplayAdversary` on the
+            reference engine (:attr:`SearchResult.replay_verified`).
+        progress: Optional callback after each batch.
+    """
+    started = time.perf_counter()
+    space = make_space(settings)
+    searcher_obj = build_searcher(searcher, space, settings)
+    rng = random.Random(f"{settings.key}/{searcher}/r{seed}")
+
+    on_disk = load_candidates(results_path) if results_path else {}
+    skipped = getattr(on_disk, "skipped", 0)
+
+    best: Optional[CandidateScore] = None
+    best_ordinal = -1
+    executed = 0
+    resumed = 0
+    ordinal = 0
+    sink = None
+    # One graph build and one topology compile serve the whole search:
+    # the genome space's graph backs the in-process evaluation context
+    # and the final replay certification (pool workers, when used,
+    # build their own context once each in the pool initializer).
+    context = EvaluationContext(settings, graph=space.graph)
+    evaluator = PopulationEvaluator(
+        settings, workers=workers, context=context
+    )
+    try:
+        while ordinal < budget.evaluations:
+            count = min(
+                budget.batch_size, budget.evaluations - ordinal
+            )
+            genomes = searcher_obj.ask(rng, count)
+            if len(genomes) != count:
+                raise RuntimeError(
+                    f"searcher {searcher!r} returned {len(genomes)} "
+                    f"candidates for ask({count})"
+                )
+            keys = [
+                candidate_key(settings, searcher, seed, ordinal + i)
+                for i in range(count)
+            ]
+            scores: List[Optional[CandidateScore]] = [None] * count
+            fresh_idx: List[int] = []
+            for i, (genome, key) in enumerate(zip(genomes, keys)):
+                record = on_disk.get(key)
+                if (
+                    record is not None
+                    and record.fingerprint == genome.fingerprint
+                ):
+                    scores[i] = record.to_score()
+                    resumed += 1
+                else:
+                    fresh_idx.append(i)
+            fresh_scores = evaluator.evaluate(
+                [genomes[i] for i in fresh_idx]
+            )
+            for i, score in zip(fresh_idx, fresh_scores):
+                scores[i] = score
+                executed += 1
+                if results_path:
+                    if sink is None:
+                        sink = open_for_append(results_path)
+                    append_candidate(
+                        sink,
+                        CandidateRecord.from_score(
+                            score, keys[i], ordinal + i, searcher
+                        ),
+                    )
+            batch = [s for s in scores if s is not None]
+            searcher_obj.tell(batch)
+            for i, score in enumerate(batch):
+                if best is None or score.objective > best.objective:
+                    best = score
+                    best_ordinal = ordinal + i
+            ordinal += count
+            if progress is not None and best is not None:
+                progress(best, ordinal, budget.evaluations)
+    finally:
+        evaluator.close()
+        if sink is not None:
+            sink.close()
+
+    assert best is not None  # budget >= 1 guarantees one batch ran
+    result = SearchResult(
+        settings=settings,
+        searcher=searcher,
+        seed=seed,
+        best=best,
+        best_ordinal=best_ordinal,
+        executed=executed,
+        resumed=resumed,
+        skipped_lines=skipped,
+        elapsed=time.perf_counter() - started,
+    )
+    if verify:
+        result.replay_verified = verify_replay(
+            settings, best.genome, context=context
+        )
+    return result

@@ -1,0 +1,253 @@
+"""Budget accounting and JSON-lines persistence for searches.
+
+Mirrors :mod:`repro.experiments.persist`: one line per evaluated
+candidate, appended (and flushed) the moment its score reaches the
+harness, so an interrupted search leaves a valid prefix on disk.  On
+resume the harness regenerates the identical candidate sequence (same
+settings, searcher and seed ⇒ same rng stream) and, for every candidate
+whose key is already on disk *and* whose stored genome fingerprint
+matches the regenerated genome, reuses the stored score instead of
+re-evaluating — resume-by-key with a content check, so a foreign or
+stale results file re-runs rather than corrupts.
+
+Torn final lines (hard kill mid-write) are skipped and counted on load,
+and appends heal them, exactly like the sweep layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.persist import (
+    append_record,
+    load_keyed_lines,
+    open_for_append,
+)
+from repro.search.evaluate import CandidateScore, SearchSettings
+from repro.search.genome import StrategyGenome
+
+__all__ = [
+    "CandidateRecord",
+    "SearchBudget",
+    "SearchResult",
+    "append_candidate",
+    "candidate_key",
+    "load_candidates",
+    "open_for_append",
+]
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """How much work a search invocation may spend.
+
+    Attributes:
+        evaluations: Total candidate evaluations (across resumes: a
+            resumed run counts previously persisted candidates against
+            the same budget, so re-running a finished search is a
+            no-op).
+        batch_size: Candidates asked for (and evaluated, possibly in
+            parallel) per harness iteration.
+    """
+
+    evaluations: int
+    batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.evaluations < 1:
+            raise ValueError(
+                f"budget needs >= 1 evaluation, got {self.evaluations}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+
+def candidate_key(
+    settings: SearchSettings, searcher: str, seed: int, ordinal: int
+) -> str:
+    """The stable per-candidate resume key.
+
+    Namespaced by the search cell, the searcher kind and the search
+    seed, then indexed by the candidate's position in the ask sequence —
+    the same invocation always assigns the same keys in the same order.
+    """
+    return f"{settings.key}/{searcher}-r{seed}/c{ordinal}"
+
+
+@dataclass(frozen=True)
+class CandidateRecord:
+    """One evaluated candidate as persisted to the results file."""
+
+    key: str
+    ordinal: int
+    searcher: str
+    fingerprint: str
+    genome: StrategyGenome
+    objective: int
+    completed: bool
+    completion_round: Optional[int]
+    rounds: int
+    engine: str
+
+    @classmethod
+    def from_score(
+        cls,
+        score: CandidateScore,
+        key: str,
+        ordinal: int,
+        searcher: str,
+    ) -> "CandidateRecord":
+        """Wrap one fresh score with its persistence identity."""
+        return cls(
+            key=key,
+            ordinal=ordinal,
+            searcher=searcher,
+            fingerprint=score.genome.fingerprint,
+            genome=score.genome,
+            objective=score.objective,
+            completed=score.completed,
+            completion_round=score.completion_round,
+            rounds=score.rounds,
+            engine=score.engine,
+        )
+
+    def to_score(self) -> CandidateScore:
+        """The record as the score the searcher is told on resume."""
+        return CandidateScore(
+            genome=self.genome,
+            objective=self.objective,
+            completed=self.completed,
+            completion_round=self.completion_round,
+            rounds=self.rounds,
+            engine=self.engine,
+        )
+
+    def to_dict(self) -> Dict:
+        """The record as one JSON-lines document (see ``from_dict``)."""
+        return {
+            "key": self.key,
+            "ordinal": self.ordinal,
+            "searcher": self.searcher,
+            "fingerprint": self.fingerprint,
+            "genome": self.genome.to_dict(),
+            "objective": self.objective,
+            "completed": self.completed,
+            "completion_round": self.completion_round,
+            "rounds": self.rounds,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "CandidateRecord":
+        """Rebuild a record from its JSON-lines document."""
+        return cls(
+            key=doc["key"],
+            ordinal=int(doc["ordinal"]),
+            searcher=doc["searcher"],
+            fingerprint=doc["fingerprint"],
+            genome=StrategyGenome.from_dict(doc["genome"]),
+            objective=int(doc["objective"]),
+            completed=bool(doc["completed"]),
+            completion_round=(
+                None
+                if doc["completion_round"] is None
+                else int(doc["completion_round"])
+            ),
+            rounds=int(doc["rounds"]),
+            engine=doc["engine"],
+        )
+
+
+class CandidateMap(Dict[str, CandidateRecord]):
+    """``key → CandidateRecord`` map that also counts skipped lines."""
+
+    __slots__ = ("skipped",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        """Build the map; ``skipped`` starts at 0."""
+        super().__init__(*args, **kwargs)
+        self.skipped = 0
+
+
+def load_candidates(path: str) -> CandidateMap:
+    """Read a search results file into a key → record map.
+
+    Damage tolerance is the sweep layer's
+    (:func:`repro.experiments.persist.load_keyed_lines`): unparsable
+    lines are skipped and counted, later duplicate keys win (a
+    re-evaluated candidate supersedes its stale predecessor).
+    """
+    return load_keyed_lines(
+        path, CandidateRecord.from_dict, CandidateMap()
+    )
+
+
+#: One candidate per JSON line, flushed on write — the sweep layer's
+#: appender works verbatim on any record with ``to_dict()``.
+append_candidate = append_record
+
+
+@dataclass
+class SearchResult:
+    """The outcome of one :func:`repro.search.harness.run_search` call.
+
+    Attributes:
+        settings: The search cell.
+        searcher: The searcher kind that ran.
+        seed: The search seed (candidate-generation rng, distinct from
+            the cell's derived engine seed).
+        best: The highest-objective candidate (ties: earliest ordinal).
+        best_ordinal: Where in the ask sequence the best candidate sat.
+        executed: Candidates evaluated by this invocation.
+        resumed: Candidates whose scores were reused from disk.
+        skipped_lines: Unparsable result-file lines dropped on load.
+        elapsed: Wall-clock seconds (excluded from equality).
+        replay_verified: ``None`` until
+            :func:`repro.search.evaluate.verify_replay` has certified
+            the best genome; then its boolean outcome.
+    """
+
+    settings: SearchSettings
+    searcher: str
+    seed: int
+    best: CandidateScore
+    best_ordinal: int
+    executed: int = 0
+    resumed: int = 0
+    skipped_lines: int = 0
+    elapsed: float = field(default=0.0, compare=False)
+    replay_verified: Optional[bool] = None
+
+    def summary(self) -> Dict:
+        """A compact JSON-serialisable summary of the search."""
+        return {
+            "key": self.settings.key,
+            "searcher": self.searcher,
+            "seed": self.seed,
+            "best_objective": self.best.objective,
+            "best_completed": self.best.completed,
+            "best_completion_round": self.best.completion_round,
+            "best_ordinal": self.best_ordinal,
+            "best_engine": self.best.engine,
+            "executed": self.executed,
+            "resumed": self.resumed,
+            "skipped_lines": self.skipped_lines,
+            "replay_verified": self.replay_verified,
+            "best_genome": self.best.genome.to_dict(),
+        }
+
+    def table_rows(self) -> List[List]:
+        """Rows for the CLI's quantity/value table."""
+        return [
+            ["cell", self.settings.key],
+            ["searcher", self.searcher],
+            ["best objective (rounds)", self.best.objective],
+            ["best completed", self.best.completed],
+            ["best found at candidate", self.best_ordinal],
+            ["evaluations run", self.executed],
+            ["evaluations resumed", self.resumed],
+            ["engine of best", self.best.engine],
+        ]

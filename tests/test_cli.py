@@ -64,6 +64,16 @@ class TestRun:
         )
         assert rc == 0
 
+    def test_pivot_adversary_runs_inline(self, capsys):
+        """The pivot kind needs its n param threaded by the CLI."""
+        rc = main(
+            [
+                "run", "--graph", "pivot-layers", "--n", "16",
+                "--algorithm", "round_robin", "--adversary", "pivot",
+            ]
+        )
+        assert rc == 0
+
 
 class TestSweep:
     def test_sweep_prints_fit(self, capsys):
@@ -193,6 +203,26 @@ class TestSweep:
         assert rc == 0
         assert "tiny" in capsys.readouterr().out
 
+    def test_sweep_pivot_adversary_single_size(self, capsys):
+        rc = main(
+            [
+                "sweep", "--graph", "pivot-layers", "--algorithm",
+                "round_robin", "--adversary", "pivot", "--sizes", "16",
+                "--seeds", "0",
+            ]
+        )
+        assert rc == 0
+
+    def test_sweep_pivot_adversary_rejects_size_grid(self):
+        with pytest.raises(SystemExit, match="single --sizes"):
+            main(
+                [
+                    "sweep", "--graph", "pivot-layers", "--algorithm",
+                    "round_robin", "--adversary", "pivot",
+                    "--sizes", "16,25", "--seeds", "0",
+                ]
+            )
+
     def test_sweep_capped_runs_exit_nonzero(self, capsys):
         rc = main(
             [
@@ -203,6 +233,111 @@ class TestSweep:
         )
         assert rc == 1
         assert "hit the round cap" in capsys.readouterr().err
+
+
+class TestList:
+    def test_lists_every_registry(self, capsys):
+        rc = main(["list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # One entry from each section, with its description.
+        assert "clique-bridge" in out
+        assert "Theorem 2 network" in out
+        assert "pivot" in out
+        assert "GreedyInterferer" in out
+        assert "strong_select" in out
+        assert "greedy" in out and "lookahead" in out
+
+    def test_lists_runtime_registrations(self, capsys):
+        from repro.experiments import registry
+
+        registry.register_adversary(
+            "cli-test-adv",
+            lambda seed, **kw: None,
+            description="registered at runtime",
+        )
+        try:
+            main(["list"])
+            out = capsys.readouterr().out
+            assert "cli-test-adv" in out
+            assert "registered at runtime" in out
+        finally:
+            del registry._ADVERSARIES["cli-test-adv"]
+            del registry._ADVERSARY_DESCRIPTIONS["cli-test-adv"]
+
+
+class TestSearch:
+    ARGS = [
+        "search", "--graph", "clique-bridge", "--n", "10",
+        "--algorithm", "round_robin", "--cr", "CR1",
+        "--searcher", "random", "--budget", "4", "--batch-size", "2",
+        "--seed", "0",
+    ]
+
+    def test_basic_search(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best objective" in out
+        assert "True" in out  # replay verified by default
+
+    def test_underscore_graph_spelling_accepted(self, capsys):
+        rc = main(
+            ["search", "--graph", "clique_bridge", "--n", "9",
+             "--algorithm", "round_robin", "--budget", "2",
+             "--no-verify"]
+        )
+        assert rc == 0
+        assert "clique-bridge" in capsys.readouterr().out
+
+    def test_search_resumes_from_results(self, capsys, tmp_path):
+        results = str(tmp_path / "search.jsonl")
+        assert main(self.ARGS + ["--results", results]) == 0
+        assert "4 run, 0 resumed" in capsys.readouterr().out
+        assert main(self.ARGS + ["--results", results]) == 0
+        assert "0 run, 4 resumed" in capsys.readouterr().out
+
+    def test_search_json_output(self, capsys):
+        rc = main(self.ARGS + ["--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["best_objective"] >= 1
+        assert doc["replay_verified"] is True
+        assert doc["best_genome"]["horizon"] >= 1
+
+    def test_search_compare_theorem2(self, capsys):
+        rc = main(self.ARGS + ["--compare-theorem2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "search vs Theorem 2" in out
+        assert "theorem 2 bound (n-3)" in out
+
+    def test_search_compare_theorem2_in_json(self, capsys):
+        rc = main(self.ARGS + ["--compare-theorem2", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["theorem2"]["theorem_bound"] == 7  # n=10
+        assert doc["theorem2"]["search_best"] == doc["best_objective"]
+
+    def test_search_compare_theorem2_warns_off_family(self, capsys):
+        rc = main(
+            ["search", "--graph", "line", "--n", "6",
+             "--algorithm", "round_robin", "--budget", "2",
+             "--no-verify", "--compare-theorem2"]
+        )
+        assert rc == 0
+        assert "skipped" in capsys.readouterr().err
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(SystemExit, match="unknown graph"):
+            main(["search", "--graph", "nope", "--budget", "2"])
+
+    def test_unknown_searcher_rejected(self):
+        with pytest.raises(SystemExit, match="unknown searcher"):
+            main(
+                ["search", "--graph", "line", "--n", "6",
+                 "--searcher", "nope", "--budget", "2"]
+            )
 
 
 class TestLowerBound:

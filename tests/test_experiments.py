@@ -137,6 +137,49 @@ class TestRegistry:
         with pytest.raises(ValueError, match="already registered"):
             register_graph("test-only-star", lambda n, seed, **kw: None)
 
+    def test_interferers_exposed_through_registry(self):
+        from repro.adversaries import GreedyInterferer, PivotAdversary
+
+        assert isinstance(build_adversary("greedy"), GreedyInterferer)
+        assert isinstance(
+            build_adversary("pivot", n=20), PivotAdversary
+        )
+
+    def test_pivot_adversary_usable_from_a_spec(self):
+        from repro.experiments import run_sweep
+
+        spec = ExperimentSpec(
+            name="pivot-spec",
+            algorithms=["round_robin"],
+            graphs=[("pivot-layers", 16)],
+            adversaries=[("pivot", {"n": 16})],
+            collision_rules=["CR1"],
+            seeds=[0],
+        )
+        result = run_sweep(spec)
+        assert len(result) == 1
+        assert result.records[0].adversary_kind == "pivot"
+
+    def test_descriptions_cover_every_kind(self):
+        from repro.experiments import (
+            adversary_descriptions,
+            adversary_kinds,
+            graph_descriptions,
+            graph_kinds,
+        )
+
+        assert set(graph_descriptions()) == set(graph_kinds())
+        assert set(adversary_descriptions()) == set(adversary_kinds())
+        # Every built-in kind carries a one-liner (runtime-registered
+        # test kinds may omit theirs and map to the empty string).
+        missing = [
+            kind
+            for table in (graph_descriptions(), adversary_descriptions())
+            for kind, desc in table.items()
+            if not desc and not kind.startswith("test-")
+        ]
+        assert not missing
+
 
 class TestExecuteTask:
     def test_result_matches_task(self):

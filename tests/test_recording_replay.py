@@ -163,3 +163,109 @@ class TestScriptedDeliveries:
         )
         trace = engine.run()
         assert trace.proc[0] == 2
+
+
+class TestScriptedReplayEdgeCases:
+    """The edge cases genome replay (repro.search) leans on."""
+
+    def _procs(self, n):
+        return [ScriptedProcess(i, range(1, 40)) for i in range(n)]
+
+    def test_deliveries_past_final_round_are_unused(self):
+        g = with_complete_unreliable(line(4))
+        # Round 50 is far past completion; the entry must be inert.
+        script = {50: {0: [3]}}
+        trace = run_broadcast(
+            g, self._procs(4),
+            adversary=ScriptedDeliveries(script), max_rounds=10,
+        )
+        assert trace.completed
+        assert trace.informed_round[3] == 3  # pure reliable hops
+        assert all(
+            not rec.unreliable_deliveries for rec in trace.rounds
+        )
+
+    def test_empty_round_rows_deliver_nothing(self):
+        g = with_complete_unreliable(line(4))
+        script = {1: {}, 2: {}}
+        trace = run_broadcast(
+            g, self._procs(4),
+            adversary=ScriptedDeliveries(script), max_rounds=10,
+        )
+        assert trace.informed_round[3] == 3
+
+    def test_script_for_non_sender_is_dropped(self):
+        g = with_complete_unreliable(line(4))
+        # Node 3 does not transmit in round 1 (it is not even awake in
+        # the scripted sense — it never held the message yet), so its
+        # scripted row is filtered out rather than crashing the engine.
+        script = {1: {3: [0]}}
+        trace = run_broadcast(
+            g, self._procs(4),
+            adversary=ScriptedDeliveries(script), max_rounds=10,
+        )
+        assert trace.completed
+
+    def _tampered_cr4_trace(self):
+        """A recorded CR4 execution whose round-1 reception at node 2
+        is rewritten to come from a sender that never transmitted."""
+        import dataclasses
+
+        from repro.adversaries import FullDeliveryAdversary
+        from repro.sim.messages import Message, received
+
+        g = with_complete_unreliable(line(3))
+        procs = [
+            ScriptedProcess(0, range(1, 40)),
+            ScriptedProcess(1, range(1, 40), send_without_message=True),
+            ScriptedProcess(2, range(30, 40)),
+        ]
+        from repro.sim.engine import StartMode
+
+        config = EngineConfig(
+            max_rounds=20,
+            record_receptions=True,
+            start_mode=StartMode.SYNCHRONOUS,
+        )  # CR4 is the config default
+        trace = BroadcastEngine(
+            g, procs, FullDeliveryAdversary(), config
+        ).run()
+        # Round 1 has two senders (0 and 1) and full deliveries, so
+        # node 2 sees a genuine CR4 collision — the resolver runs.
+        assert len(trace.rounds[0].senders) == 2
+        forged = received(
+            Message(payload="broadcast-message", sender=5, round_sent=1)
+        )
+        trace.rounds[0] = dataclasses.replace(
+            trace.rounds[0],
+            receptions={**trace.rounds[0].receptions, 2: forged},
+        )
+        return g, trace
+
+    def _replay(self, g, trace, strict):
+        procs = [
+            ScriptedProcess(0, range(1, 40)),
+            ScriptedProcess(1, range(1, 40), send_without_message=True),
+            ScriptedProcess(2, range(30, 40)),
+        ]
+        from repro.sim.engine import StartMode
+
+        config = EngineConfig(
+            max_rounds=20, start_mode=StartMode.SYNCHRONOUS
+        )
+        return BroadcastEngine(
+            g, procs, ReplayAdversary(trace, strict=strict), config
+        ).run()
+
+    def test_strict_replay_raises_on_non_arriving_cr4_sender(self):
+        g, trace = self._tampered_cr4_trace()
+        with pytest.raises(ValueError, match="replay diverged"):
+            self._replay(g, trace, strict=True)
+
+    def test_lenient_replay_silently_resolves_to_silence(self):
+        g, trace = self._tampered_cr4_trace()
+        # No exception: the non-arriving sender degrades to silence, so
+        # node 2 never hears the forged message (and stays uninformed,
+        # as in the original execution where the collision was silent).
+        replayed = self._replay(g, trace, strict=False)
+        assert replayed.informed_round[2] is None
