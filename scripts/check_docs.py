@@ -9,8 +9,11 @@ continuations), and verifies that
 * every ``--flag`` it uses is accepted by that subcommand's parser
 
 so documentation cannot drift ahead of (or behind) the CLI without
-failing the CI docs job.  Relative markdown links are checked for
-existence as a bonus — a renamed doc breaks the build, not the reader.
+failing the CI docs job.  The converse is enforced too: every live
+subcommand must appear in at least one documented command block, so a
+new command cannot ship undocumented.  Relative markdown links are
+checked for existence as a bonus — a renamed doc breaks the build,
+not the reader.
 
 Usage: ``python scripts/check_docs.py`` (exit status 0 = clean).
 """
@@ -61,7 +64,12 @@ def command_lines(block: str):
                 break
 
 
-def check_commands(path: pathlib.Path, text: str, flags_by_sub: dict):
+def check_commands(
+    path: pathlib.Path,
+    text: str,
+    flags_by_sub: dict,
+    documented: set,
+):
     problems = []
     for block in FENCE.findall(text):
         for line, argv in command_lines(block):
@@ -73,6 +81,7 @@ def check_commands(path: pathlib.Path, text: str, flags_by_sub: dict):
                     f"{path.name}: unknown subcommand {sub!r} in: {line}"
                 )
                 continue
+            documented.add(sub)
             used = {f.split("=")[0] for f in argv[1:] if f.startswith("--")}
             stale = sorted(used - flags_by_sub[sub])
             if stale:
@@ -97,12 +106,18 @@ def check_links(path: pathlib.Path, text: str):
 def main() -> int:
     flags_by_sub = known_flags()
     problems = []
+    documented = set()
     checked = 0
     for path in DOC_FILES:
         text = path.read_text(encoding="utf-8")
-        problems += check_commands(path, text, flags_by_sub)
+        problems += check_commands(path, text, flags_by_sub, documented)
         problems += check_links(path, text)
         checked += 1
+    for sub in sorted(set(flags_by_sub) - documented):
+        problems.append(
+            f"subcommand `repro {sub}` appears in no documented "
+            "command block (README.md / docs/*.md)"
+        )
     if problems:
         for problem in problems:
             print(f"STALE-DOCS: {problem}", file=sys.stderr)

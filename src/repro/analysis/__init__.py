@@ -17,7 +17,13 @@ from repro.analysis.fitting import (
     growth_ratio_check,
 )
 from repro.analysis.plots import bars, scatter
+from repro.analysis.report import (
+    CampaignReport,
+    CellAggregate,
+    paper_reference,
+)
 from repro.analysis.stats import (
+    RunningSummary,
     Summary,
     quantile,
     seed_sweep,
@@ -27,7 +33,10 @@ from repro.analysis.stats import (
 from repro.analysis.tables import render_kv, render_table
 
 __all__ = [
+    "CampaignReport",
+    "CellAggregate",
     "PowerLawFit",
+    "RunningSummary",
     "Summary",
     "bars",
     "best_fit",
@@ -39,6 +48,7 @@ __all__ = [
     "front_loaded_pattern",
     "growth_ratio_check",
     "is_busy",
+    "paper_reference",
     "probability_mass",
     "quantile",
     "render_kv",

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -91,6 +91,155 @@ def summarize(values: Iterable[float]) -> Summary:
         maximum=max(data),
         ci95_half_width=ci95,
     )
+
+
+class RunningSummary:
+    """Streaming accumulator producing the same :class:`Summary`.
+
+    The incremental-analysis primitive behind ``repro report``: feed it
+    observations one at a time (straight off a result store's record
+    iterator) and it maintains Welford's online mean/variance — which
+    feeds the existing Student-t CI machinery — plus exact min/max and
+    an exact median, *without ever materialising the sample list*.
+
+    The median stays exact because observations are folded into a
+    value → count map: completion rounds (and most sweep measurables)
+    are small integers, so the map holds one entry per *distinct*
+    value — memory O(distinct values), not O(observations).  A 10⁶-run
+    campaign whose completion rounds span a few hundred values costs a
+    few hundred dict entries.
+
+    Accumulators also :meth:`merge`, so per-shard partial summaries
+    combine associatively (Chan et al.'s parallel Welford update) —
+    the shape a sharded or multi-host reducer needs.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max", "_counts")
+
+    def __init__(self) -> None:
+        """Start empty (``count == 0``; no summary available yet)."""
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._counts: Dict[float, int] = {}
+
+    def add(self, value: float) -> None:
+        """Fold one observation in (Welford single-pass update)."""
+        v = float(value)
+        self.count += 1
+        delta = v - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (v - self._mean)
+        if self._min is None or v < self._min:
+            self._min = v
+        if self._max is None or v > self._max:
+            self._max = v
+        self._counts[v] = self._counts.get(v, 0) + 1
+
+    def update(self, values: Iterable[float]) -> "RunningSummary":
+        """Fold a stream of observations in (returns self)."""
+        for v in values:
+            self.add(v)
+        return self
+
+    def merge(self, other: "RunningSummary") -> "RunningSummary":
+        """Combine another accumulator into this one (returns self).
+
+        Associative and order-insensitive up to floating-point
+        rounding — per-shard partials merged in any order agree with
+        one sequential pass to well below the CI's resolution.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._counts = dict(other._counts)
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean += delta * other.count / total
+        self._m2 += (
+            other._m2 + delta * delta * self.count * other.count / total
+        )
+        self.count = total
+        assert other._min is not None and other._max is not None
+        if self._min is None or other._min < self._min:
+            self._min = other._min
+        if self._max is None or other._max > self._max:
+            self._max = other._max
+        for v, c in other._counts.items():
+            self._counts[v] = self._counts.get(v, 0) + c
+        return self
+
+    @property
+    def mean(self) -> float:
+        """The running arithmetic mean (0.0 while empty)."""
+        return self._mean
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0 for fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Student-t 95% CI half-width, same rule as :func:`summarize`."""
+        if self.count < 2:
+            return 0.0
+        return (
+            t_critical_95(self.count - 1)
+            * self.stdev
+            / math.sqrt(self.count)
+        )
+
+    def median(self) -> float:
+        """Exact median from the value-count map (interpolated)."""
+        if self.count == 0:
+            raise ValueError("cannot take the median of an empty sample")
+        lo_pos = (self.count - 1) // 2
+        hi_pos = self.count // 2
+        lo = hi = None
+        seen = 0
+        for v in sorted(self._counts):
+            seen += self._counts[v]
+            if lo is None and seen > lo_pos:
+                lo = v
+            if seen > hi_pos:
+                hi = v
+                break
+        assert lo is not None and hi is not None
+        return (lo + hi) / 2.0
+
+    def summary(self) -> Summary:
+        """The accumulated sample as a standard :class:`Summary`.
+
+        Numerically agrees with :func:`summarize` over the same
+        observations (to floating-point rounding; exactly for the
+        count/min/max/median fields).
+
+        Raises:
+            ValueError: When no observations have been added.
+        """
+        if self.count == 0:
+            raise ValueError("cannot summarize an empty sample")
+        assert self._min is not None and self._max is not None
+        return Summary(
+            count=self.count,
+            mean=self._mean,
+            median=self.median(),
+            stdev=self.stdev,
+            minimum=self._min,
+            maximum=self._max,
+            ci95_half_width=self.ci95_half_width,
+        )
 
 
 def seed_sweep(

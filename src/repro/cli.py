@@ -8,6 +8,10 @@ Usage (module form)::
         --sizes 16,32,64 --seeds 0,1,2 --workers 4
     python -m repro sweep --spec examples/specs/tiny_sweep.json \
         --workers 4 --results results/tiny.jsonl
+    python -m repro sweep --spec examples/specs/tiny_sweep.json \
+        --workers 4 --results results/campaign --store sharded
+    python -m repro merge --results results/campaign --out results/all.jsonl
+    python -m repro report --results results/campaign
     python -m repro lowerbound --theorem 2 --n 32
     python -m repro lowerbound --theorem 12 --n 33 --algorithm round_robin
 
@@ -29,6 +33,7 @@ from typing import Optional, Sequence
 from repro.analysis import best_fit, render_table
 from repro.core.runner import algorithm_names, broadcast
 from repro.sim.engine import ENGINE_NAMES
+from repro.store import STORE_BACKENDS
 from repro.experiments import (
     ExperimentSpec,
     SweepResult,
@@ -52,6 +57,24 @@ _ALGORITHM_DESCRIPTIONS = {
     "decay": "classical Decay baseline",
     "uniform": "transmit each round with probability 1/n",
 }
+
+
+def _warn_health(health, source: str, noun: str) -> None:
+    """Print the unified store-damage warning when there is damage.
+
+    One text for both subsystems and every backend — the
+    :class:`~repro.store.base.StoreHealth` satellite of the storage
+    redesign.
+    """
+    message = health.warning(source, noun)
+    if message:
+        print(message, file=sys.stderr)
+
+
+def _store_backend(args) -> Optional[str]:
+    """The ``--store`` choice, with ``auto`` mapped to detection."""
+    choice = getattr(args, "store", "auto")
+    return None if choice == "auto" else choice
 
 
 def _build_graph_or_exit(name: str, n: int, seed: int):
@@ -176,20 +199,17 @@ def cmd_sweep(args) -> int:
             workers=args.workers,
             results_path=args.results,
             batch=args.batch,
+            store=_store_backend(args),
+            flush_every=args.flush_every,
         )
         result = runner.run()
-    except ValueError as exc:
+    except (ValueError, ImportError) as exc:
         # Bad worker counts, unknown graph/adversary kinds, duplicate
-        # task keys: user input problems, not crashes.
+        # task keys, campaign fingerprint mismatches, a missing NumPy
+        # for --store columnar: user input problems, not crashes.
         raise SystemExit(str(exc))
 
-    if result.skipped_lines:
-        print(
-            f"warning: {args.results} held {result.skipped_lines} "
-            "unparsable line(s) (torn or foreign); their tasks were "
-            "re-run",
-            file=sys.stderr,
-        )
+    _warn_health(result.health, args.results, "task")
     for record in result.failures:
         print(
             f"warning: {record.key} hit the round cap", file=sys.stderr
@@ -285,17 +305,13 @@ def cmd_search(args) -> int:
             workers=args.workers,
             results_path=args.results,
             verify=args.verify,
+            store=_store_backend(args),
+            flush_every=args.flush_every,
         )
-    except ValueError as exc:
+    except (ValueError, ImportError) as exc:
         raise SystemExit(str(exc))
 
-    if result.skipped_lines:
-        print(
-            f"warning: {args.results} held {result.skipped_lines} "
-            "unparsable line(s) (torn or foreign); their candidates "
-            "were re-run",
-            file=sys.stderr,
-        )
+    _warn_health(result.health, args.results, "candidate")
     comparison = None
     if args.compare_theorem2:
         if supports_theorem2(settings):
@@ -336,6 +352,55 @@ def cmd_search(args) -> int:
                 )
             )
     return 0 if result.replay_verified is not False else 1
+
+
+def cmd_merge(args) -> int:
+    """Fold a campaign store into one canonical JSONL results file."""
+    from repro.store import RawRecord, merge_store, open_store
+
+    try:
+        source = open_store(
+            args.results, parse=RawRecord, backend=_store_backend(args)
+        )
+        count = merge_store(source, args.out)
+    except (OSError, ValueError, ImportError) as exc:
+        raise SystemExit(str(exc))
+    _warn_health(source.health, args.results, "record")
+    print(
+        f"merged {args.results} -> {args.out}: {count} record(s), "
+        "key-sorted (idempotent; resumable by any sweep/search "
+        "with --results pointing at the merged file)"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Stream a campaign into the paper-reproduction table set."""
+    from repro.analysis.report import CampaignReport
+    from repro.experiments import RunResult
+    from repro.store import open_store
+
+    try:
+        store = open_store(
+            args.results,
+            parse=RunResult.from_dict,
+            backend=_store_backend(args),
+        )
+        report = CampaignReport.from_store(store)
+    except (OSError, ValueError, ImportError) as exc:
+        raise SystemExit(str(exc))
+    _warn_health(store.health, args.results, "record")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(title=f"campaign {args.results}"))
+    if not report.records:
+        print(
+            f"warning: {args.results} holds no sweep records",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_lowerbound(args) -> int:
@@ -466,8 +531,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--results", default=None,
-        help="JSON-lines results file; existing records are resumed "
+        help="results file (JSON lines) or campaign directory "
+        "(sharded/columnar store); existing records are resumed "
         "rather than re-run",
+    )
+    sweep.add_argument(
+        "--store", choices=list(STORE_BACKENDS), default="auto",
+        help="result-store backend behind --results (auto: a "
+        "directory is a sharded campaign, a file is JSON lines; "
+        "see docs/STORAGE.md)",
+    )
+    sweep.add_argument(
+        "--flush-every", type=int, default=None,
+        help="flush the result store every N records (default: the "
+        "backend's policy — jsonl 1, sharded 64, columnar 512)",
     )
     sweep.add_argument(
         "--engine", choices=list(ENGINE_NAMES), default=None,
@@ -540,8 +617,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--results", default=None,
-        help="JSON-lines candidate file; existing evaluations are "
-        "resumed by key rather than re-run",
+        help="candidate results file (JSON lines) or campaign "
+        "directory; existing evaluations are resumed by key rather "
+        "than re-run",
+    )
+    search.add_argument(
+        "--store", choices=list(STORE_BACKENDS), default="auto",
+        help="result-store backend behind --results (see "
+        "docs/STORAGE.md)",
+    )
+    search.add_argument(
+        "--flush-every", type=int, default=None,
+        help="flush the result store every N records (default: the "
+        "backend's policy)",
     )
     search.add_argument(
         "--engine", choices=["auto", "reference", "fast"],
@@ -561,6 +649,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--json", action="store_true")
     search.set_defaults(func=cmd_search)
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge a campaign store into one canonical JSONL file "
+        "(see docs/STORAGE.md)",
+    )
+    merge.add_argument(
+        "--results", required=True,
+        help="source store: a campaign directory (sharded/columnar) "
+        "or a JSONL results file",
+    )
+    merge.add_argument(
+        "--out", required=True,
+        help="destination JSONL file; existing records there are "
+        "kept and updated by key (idempotent, key-sorted, atomic)",
+    )
+    merge.add_argument(
+        "--store", choices=list(STORE_BACKENDS), default="auto",
+        help="source backend (auto: detect from the path/manifest)",
+    )
+    merge.set_defaults(func=cmd_merge)
+
+    report = sub.add_parser(
+        "report",
+        help="stream a campaign into the paper-reproduction tables "
+        "(completion summaries + Thm 2/10/18 reference bounds)",
+    )
+    report.add_argument(
+        "--results", required=True,
+        help="campaign to report on: results file or campaign "
+        "directory under any store backend",
+    )
+    report.add_argument(
+        "--store", choices=list(STORE_BACKENDS), default="auto",
+        help="store backend (auto: detect from the path/manifest)",
+    )
+    report.add_argument("--json", action="store_true")
+    report.set_defaults(func=cmd_report)
 
     lb = sub.add_parser(
         "lowerbound", help="run an executable lower-bound construction"

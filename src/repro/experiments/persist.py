@@ -1,21 +1,40 @@
-"""JSON-lines persistence for sweep results.
+"""Sweep-facing shims over the :mod:`repro.store` persistence layer.
 
-One line per :class:`~repro.experiments.results.RunResult`, appended as
-each task finishes, so an interrupted sweep leaves a valid prefix on
-disk.  :func:`load_records` tolerates a torn final line (the signature
-of a hard kill mid-write) by skipping anything that does not parse —
-resuming then re-runs exactly the tasks whose records are missing.
-Skipped lines are counted (:class:`RecordMap.skipped <RecordMap>`), not
-silently dropped, so damaged results files are visible to callers.
+Historically this module *was* the persistence implementation; the
+keyed-line loader, torn-tail healing and per-record appender now live
+once in :mod:`repro.store.jsonl` (shared by sweeps, searches and every
+campaign backend), and this module keeps the old names working:
+
+* :func:`load_records` / :class:`RecordMap` — the sweep resume loader.
+* :func:`load_keyed_lines` — the generic keyed loader (delegates to
+  :func:`repro.store.jsonl.scan_jsonl`).
+* :func:`open_for_append` / :func:`append_record` — the historical
+  heal-and-flush appender pair.
+
+New code should open a :class:`repro.store.JsonlStore` (or
+:func:`repro.store.open_store`) instead; these shims exist so existing
+imports, result files and muscle memory keep working unchanged.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from typing import Dict, TextIO
 
 from repro.experiments.results import RunResult
+from repro.store.base import StoreHealth
+from repro.store.jsonl import (
+    append_jsonl_line,
+    open_for_append,
+    scan_jsonl,
+)
+
+__all__ = [
+    "RecordMap",
+    "append_record",
+    "load_keyed_lines",
+    "load_records",
+    "open_for_append",
+]
 
 
 class RecordMap(Dict[str, RunResult]):
@@ -44,63 +63,32 @@ class RecordMap(Dict[str, RunResult]):
 def load_keyed_lines(path: str, parse, records):
     """Fill a keyed record map from a JSON-lines file, counting damage.
 
-    The generic loop behind :func:`load_records` (and the search
-    subsystem's candidate loader): ``parse`` turns one decoded JSON
-    document into a record carrying a ``.key``; unparsable or
-    incomplete lines — an interrupted run's final line may be torn —
-    bump ``records.skipped`` instead of raising, and when a key appears
-    twice the later record wins.  Missing files leave ``records``
-    empty.  Returns ``records``.
+    Thin shim over :func:`repro.store.jsonl.scan_jsonl` preserving the
+    historical signature: ``records`` carries a ``.skipped`` counter
+    that absorbs the scan's damage count.  Returns ``records``.
     """
-    if not os.path.exists(path):
-        return records
-    with open(path, "r", encoding="utf-8") as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = parse(json.loads(line))
-            except (ValueError, KeyError, TypeError):
-                records.skipped += 1
-                continue  # torn or foreign line — re-run its task
-            records[record.key] = record
+    health = StoreHealth()
+    scan_jsonl(path, parse, records, health)
+    records.skipped += health.skipped_lines
     return records
 
 
 def load_records(path: str) -> RecordMap:
     """Read a results file into a ``key → RunResult`` map.
 
-    See :func:`load_keyed_lines` for the damage-tolerance semantics.
+    See :func:`repro.store.jsonl.scan_jsonl` for the damage-tolerance
+    semantics (torn or foreign lines are skipped and counted; later
+    duplicate keys win).
     """
     return load_keyed_lines(path, RunResult.from_dict, RecordMap())
-
-
-def open_for_append(path: str) -> TextIO:
-    """Open a results file for appending, creating parent directories.
-
-    If the file ends mid-line (a previous run was killed mid-write), a
-    newline is inserted first so the next record does not concatenate
-    onto the torn line and get lost with it.
-    """
-    parent = os.path.dirname(os.path.abspath(path))
-    os.makedirs(parent, exist_ok=True)
-    torn_tail = False
-    if os.path.exists(path) and os.path.getsize(path) > 0:
-        with open(path, "rb") as existing:
-            existing.seek(-1, os.SEEK_END)
-            torn_tail = existing.read(1) != b"\n"
-    f = open(path, "a", encoding="utf-8")
-    if torn_tail:
-        f.write("\n")
-    return f
 
 
 def append_record(f: TextIO, record) -> None:
     """Write one record as a JSON line and flush it to disk.
 
     Works for any record exposing ``to_dict()`` (sweep results, search
-    candidates).
+    candidates).  Shim over
+    :func:`repro.store.jsonl.append_jsonl_line`; stores with an
+    explicit ``flush_every`` policy supersede this pair.
     """
-    f.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-    f.flush()
+    append_jsonl_line(f, record)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.stats import Summary, quantile, summarize
+from repro.store.base import StoreHealth
 
 
 @dataclass(frozen=True)
@@ -123,7 +124,13 @@ class SweepResult:
             did not parse as records and were dropped on load (their
             tasks were re-run).  Bookkeeping like ``elapsed``, excluded
             from equality; the CLI logs it so damaged results files
-            are visible instead of silently healed.
+            are visible instead of silently healed.  Kept as a plain
+            int for backward compatibility — it mirrors
+            ``health.skipped_lines``.
+        health: The result store's full
+            :class:`~repro.store.base.StoreHealth` damage report
+            (skipped lines plus validator-rejected records), uniform
+            across every backend.
     """
 
     records: List[RunResult]
@@ -131,9 +138,18 @@ class SweepResult:
     resumed: int = 0
     elapsed: float = field(default=0.0, compare=False)
     skipped_lines: int = field(default=0, compare=False)
+    health: StoreHealth = field(
+        default_factory=StoreHealth, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.records = sorted(self.records, key=lambda r: r.key)
+        # Keep the legacy counter and the health report coherent no
+        # matter which one the caller supplied.
+        if self.skipped_lines and not self.health.skipped_lines:
+            self.health.skipped_lines = self.skipped_lines
+        elif self.health.skipped_lines and not self.skipped_lines:
+            self.skipped_lines = self.health.skipped_lines
 
     def __len__(self) -> int:
         return len(self.records)

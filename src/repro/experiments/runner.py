@@ -30,8 +30,12 @@ Invariants:
   :func:`~repro.experiments.registry.graph_seed_dependent`; ``gnp``-like
   kinds rebuild per seed).  ``tests/test_batching.py`` asserts this.
 * **Durable resume** — with ``results_path`` set, each record is
-  appended (and flushed) as a JSON line the moment its result reaches
-  the parent process, so an interrupted sweep leaves a valid prefix.
+  appended to the sweep's result store (:mod:`repro.store`: a single
+  JSON-lines file by default, a sharded or columnar campaign directory
+  on request) the moment its result reaches the parent process, so an
+  interrupted sweep leaves a valid prefix.  Durability cadence is the
+  store's explicit ``flush_every`` policy (the default JSONL backend
+  flushes every record, the historical behaviour).
   *Resume* granularity stays per task under batching: pending tasks
   are filtered by key before batches are planned, so whatever a kill
   left on disk, re-running executes exactly the missing seeds.
@@ -39,10 +43,10 @@ Invariants:
   reach the parent together when the batch finishes, so a hard kill
   forfeits (and the resume re-runs) the in-flight batches' completed
   seeds, bounded by the batch-splitting cap in ``_plan_units``.  The
-  persistence layer (:mod:`repro.experiments.persist`) heals a torn
-  final line — the signature of a hard kill mid-write — by skipping
-  (and counting) what does not parse on load and starting the next
-  append on a fresh line.
+  storage layer (:mod:`repro.store`) heals a torn final line — the
+  signature of a hard kill mid-write — by skipping (and counting)
+  what does not parse on load and starting the next append on a
+  fresh line.
 * **Transparent fast paths** — a task whose spec requests
   ``engine="fast"`` or ``engine="vector"`` runs on that engine only
   when the shared eligibility truth table
@@ -57,6 +61,7 @@ Invariants:
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import time
 from typing import (
@@ -69,11 +74,6 @@ from typing import (
 )
 
 from repro.core.runner import make_processes, suggested_round_limit
-from repro.experiments.persist import (
-    append_record,
-    load_records,
-    open_for_append,
-)
 from repro.experiments.registry import (
     build_adversary,
     build_graph,
@@ -95,6 +95,7 @@ from repro.sim.fast_engine import (
     fast_engine_eligible,
 )
 from repro.sim.trace import ExecutionTrace
+from repro.store import ResultStore, StoreHealth, open_store
 
 # repro.sim.vector_engine is imported lazily inside the functions that
 # need it: importing it pulls in NumPy, which reference/fast-only
@@ -345,10 +346,22 @@ class SweepRunner:
         workers: Worker process count.  ``1`` runs in-process (no pool),
             which is also the fallback when only one dispatch unit is
             pending.
-        results_path: Optional JSON-lines file.  Existing records are
-            loaded and their tasks skipped; new records are appended as
-            they finish, so interrupting and re-running resumes where
-            the sweep stopped.
+        results_path: Optional results location — a JSON-lines file
+            (default backend) or a campaign directory (sharded or
+            columnar backend).  Existing records are loaded and their
+            tasks skipped; new records are appended as they finish, so
+            interrupting and re-running resumes where the sweep
+            stopped.
+        store: Result-store backend name (``"jsonl"``, ``"sharded"``,
+            ``"columnar"``); ``None``/``"auto"`` detects from the
+            path (see :func:`repro.store.detect_backend`).  A
+            pre-built :class:`~repro.store.base.ResultStore` instance
+            is also accepted and used as-is (``results_path`` then
+            being ignored for opening).
+        flush_every: Explicit durability policy forwarded to the
+            store; ``None`` keeps each backend's documented default
+            (jsonl flushes every record, exactly the historical
+            behaviour).
         chunksize: Upper bound on dispatch units (tasks, or batches in
             batched mode) per worker dispatch.  Default: derived so
             each worker sees several chunks, balancing IPC overhead
@@ -370,6 +383,8 @@ class SweepRunner:
         results_path: Optional[str] = None,
         chunksize: Optional[int] = None,
         batch: bool = True,
+        store: Union[ResultStore, str, None] = None,
+        flush_every: Optional[int] = None,
     ) -> None:
         """Validate the configuration and store it (see class docs)."""
         if isinstance(specs, ExperimentSpec):
@@ -381,10 +396,16 @@ class SweepRunner:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if flush_every is not None and flush_every < 1:
+            raise ValueError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
         self.workers = workers
         self.results_path = results_path
         self.chunksize = chunksize
         self.batch = batch
+        self.store = store
+        self.flush_every = flush_every
 
     def tasks(self) -> List[RunTask]:
         """The combined, ordered task list of all specs."""
@@ -401,6 +422,43 @@ class SweepRunner:
                 out.append(task)
         return out
 
+    def fingerprint(self, tasks: Optional[List[RunTask]] = None) -> str:
+        """A stable campaign fingerprint: hash of the sorted task keys.
+
+        Written into manifest-carrying store backends so a campaign
+        directory refuses records from a *different* spec instead of
+        silently interleaving two campaigns.  Stable across worker
+        counts, batching modes and resume histories by construction.
+        """
+        if tasks is None:
+            tasks = self.tasks()
+        digest = hashlib.sha256(
+            "\n".join(sorted(t.key for t in tasks)).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def open_store(
+        self, tasks: Optional[List[RunTask]] = None
+    ) -> Optional[ResultStore]:
+        """The result store behind ``results_path`` (``None`` if unset).
+
+        A pre-built store instance passed as ``store=`` is returned
+        as-is; a backend name (or ``None`` for auto-detection) opens
+        the path through :func:`repro.store.open_store` with this
+        sweep's spec fingerprint.
+        """
+        if isinstance(self.store, ResultStore):
+            return self.store
+        if not self.results_path:
+            return None
+        return open_store(
+            self.results_path,
+            parse=RunResult.from_dict,
+            backend=self.store,
+            flush_every=self.flush_every,
+            fingerprint=self.fingerprint(tasks),
+        )
+
     def run(
         self, progress: Optional[ProgressCallback] = None
     ) -> SweepResult:
@@ -408,39 +466,35 @@ class SweepRunner:
         started = time.perf_counter()
         tasks = self.tasks()
         done: Dict[str, RunResult] = {}
-        skipped_lines = 0
-        if self.results_path:
-            on_disk = load_records(self.results_path)
-            skipped_lines = on_disk.skipped
+        store = self.open_store(tasks)
+        if store is not None:
+            on_disk = store.claim_keys()
             done = {
                 t.key: on_disk[t.key] for t in tasks if t.key in on_disk
             }
         pending = [t for t in tasks if t.key not in done]
 
-        sink = (
-            open_for_append(self.results_path)
-            if self.results_path and pending
-            else None
-        )
         records = dict(done)
         total = len(tasks)
         try:
             for result in self._execute(pending):
                 records[result.key] = result
-                if sink is not None:
-                    append_record(sink, result)
+                if store is not None:
+                    store.append(result)
                 if progress is not None:
                     progress(result, len(records), total)
         finally:
-            if sink is not None:
-                sink.close()
+            if store is not None:
+                store.close()
 
+        health = store.health if store is not None else StoreHealth()
         return SweepResult(
             records=list(records.values()),
             executed=len(pending),
             resumed=len(done),
             elapsed=time.perf_counter() - started,
-            skipped_lines=skipped_lines,
+            skipped_lines=health.skipped_lines,
+            health=health,
         )
 
     def _dispatch_chunksize(self, n_units: int) -> int:
@@ -520,8 +574,15 @@ def run_sweep(
     results_path: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     batch: bool = True,
+    store: Union[ResultStore, str, None] = None,
+    flush_every: Optional[int] = None,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
-        specs, workers=workers, results_path=results_path, batch=batch
+        specs,
+        workers=workers,
+        results_path=results_path,
+        batch=batch,
+        store=store,
+        flush_every=flush_every,
     ).run(progress=progress)

@@ -48,7 +48,9 @@ from repro.search.persist import (
     CandidateRecord,
     SearchBudget,
     SearchResult,
+    genome_fingerprint_validator,
     load_candidates,
+    search_fingerprint,
 )
 from repro.search.searchers import (
     GreedyLookaheadSearch,
@@ -79,8 +81,10 @@ __all__ = [
     "Searcher",
     "StrategyGenome",
     "build_searcher",
+    "genome_fingerprint_validator",
     "load_candidates",
     "make_space",
+    "search_fingerprint",
     "register_searcher",
     "run_search",
     "searcher_descriptions",

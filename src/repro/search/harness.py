@@ -36,13 +36,13 @@ from repro.search.persist import (
     CandidateRecord,
     SearchBudget,
     SearchResult,
-    append_candidate,
     candidate_key,
-    load_candidates,
-    open_for_append,
+    genome_fingerprint_validator,
+    search_fingerprint,
 )
 from repro.search.searchers import build_searcher
 from repro.sim.collision import CollisionRule
+from repro.store import StoreHealth, open_store
 
 #: Called after each evaluated batch with (best_so_far, done, total).
 ProgressCallback = Callable[[CandidateScore, int, int], None]
@@ -87,6 +87,8 @@ def run_search(
     results_path: Optional[str] = None,
     verify: bool = False,
     progress: Optional[ProgressCallback] = None,
+    store: Optional[str] = None,
+    flush_every: Optional[int] = None,
 ) -> SearchResult:
     """Run one adversary search and return its best candidate.
 
@@ -99,28 +101,46 @@ def run_search(
             is derived from the cell, independently — two searches with
             different seeds explore differently but score identically).
         workers: Parallel evaluation processes.
-        results_path: Optional JSON-lines file; previously persisted
-            candidates are resumed by key instead of re-evaluated, and
-            fresh scores are appended as they arrive.
+        results_path: Optional results location — a JSON-lines file or
+            a campaign directory; previously persisted candidates are
+            resumed by key instead of re-evaluated, and fresh scores
+            are appended as they arrive.
         verify: Also replay-certify the best genome through a strict
             :class:`~repro.adversaries.scripted.ReplayAdversary` on the
             reference engine (:attr:`SearchResult.replay_verified`).
         progress: Optional callback after each batch.
+        store: Result-store backend name (``"jsonl"``, ``"sharded"``,
+            ``"columnar"``); ``None``/``"auto"`` detects from the
+            path.
+        flush_every: Explicit store flush policy (``None``: backend
+            default).
     """
     started = time.perf_counter()
     space = make_space(settings)
     searcher_obj = build_searcher(searcher, space, settings)
     rng = random.Random(f"{settings.key}/{searcher}/r{seed}")
 
-    on_disk = load_candidates(results_path) if results_path else {}
-    skipped = getattr(on_disk, "skipped", 0)
+    result_store = (
+        open_store(
+            results_path,
+            parse=CandidateRecord.from_dict,
+            backend=store,
+            validator=genome_fingerprint_validator,
+            flush_every=flush_every,
+            fingerprint=search_fingerprint(settings, searcher, seed),
+        )
+        if results_path
+        else None
+    )
+    on_disk = (
+        result_store.claim_keys() if result_store is not None else {}
+    )
 
     best: Optional[CandidateScore] = None
     best_ordinal = -1
     executed = 0
     resumed = 0
     ordinal = 0
-    sink = None
     # One graph build and one topology compile serve the whole search:
     # the genome space's graph backs the in-process evaluation context
     # and the final replay certification (pool workers, when used,
@@ -162,14 +182,11 @@ def run_search(
             for i, score in zip(fresh_idx, fresh_scores):
                 scores[i] = score
                 executed += 1
-                if results_path:
-                    if sink is None:
-                        sink = open_for_append(results_path)
-                    append_candidate(
-                        sink,
+                if result_store is not None:
+                    result_store.append(
                         CandidateRecord.from_score(
                             score, keys[i], ordinal + i, searcher
-                        ),
+                        )
                     )
             batch = [s for s in scores if s is not None]
             searcher_obj.tell(batch)
@@ -182,9 +199,12 @@ def run_search(
                 progress(best, ordinal, budget.evaluations)
     finally:
         evaluator.close()
-        if sink is not None:
-            sink.close()
+        if result_store is not None:
+            result_store.close()
 
+    health = (
+        result_store.health if result_store is not None else StoreHealth()
+    )
     assert best is not None  # budget >= 1 guarantees one batch ran
     result = SearchResult(
         settings=settings,
@@ -194,7 +214,8 @@ def run_search(
         best_ordinal=best_ordinal,
         executed=executed,
         resumed=resumed,
-        skipped_lines=skipped,
+        skipped_lines=health.issues,
+        health=health,
         elapsed=time.perf_counter() - started,
     )
     if verify:

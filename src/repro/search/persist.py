@@ -1,17 +1,28 @@
-"""Budget accounting and JSON-lines persistence for searches.
+"""Budget accounting and result-store persistence for searches.
 
-Mirrors :mod:`repro.experiments.persist`: one line per evaluated
-candidate, appended (and flushed) the moment its score reaches the
-harness, so an interrupted search leaves a valid prefix on disk.  On
-resume the harness regenerates the identical candidate sequence (same
-settings, searcher and seed ⇒ same rng stream) and, for every candidate
-whose key is already on disk *and* whose stored genome fingerprint
-matches the regenerated genome, reuses the stored score instead of
-re-evaluating — resume-by-key with a content check, so a foreign or
-stale results file re-runs rather than corrupts.
+Search candidates persist through the same :mod:`repro.store` layer as
+sweep records — one keyed record per evaluated candidate, appended the
+moment its score reaches the harness, so an interrupted search leaves
+a valid prefix on disk under any backend.  On resume the harness
+regenerates the identical candidate sequence (same settings, searcher
+and seed ⇒ same rng stream) and, for every candidate whose key is
+already on disk *and* whose stored genome fingerprint matches the
+regenerated genome, reuses the stored score instead of re-evaluating —
+resume-by-key with a content check, so a foreign or stale results file
+re-runs rather than corrupts.
 
-Torn final lines (hard kill mid-write) are skipped and counted on load,
-and appends heal them, exactly like the sweep layer.
+The subsystem's second line of distrust is the *store-level validator
+hook* :func:`genome_fingerprint_validator`: records whose persisted
+``fingerprint`` does not match their own genome's recomputed
+fingerprint are rejected at load time (counted on
+:class:`~repro.store.base.StoreHealth`), before the harness even sees
+them.
+
+This module once carried its own keyed-line loader/appender; those now
+live once in :mod:`repro.store.jsonl`, and the old names
+(:func:`load_candidates`, :data:`append_candidate`,
+:func:`open_for_append`) remain as thin shims so existing imports keep
+working.
 """
 
 from __future__ import annotations
@@ -19,22 +30,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.persist import (
-    append_record,
-    load_keyed_lines,
-    open_for_append,
-)
 from repro.search.evaluate import CandidateScore, SearchSettings
 from repro.search.genome import StrategyGenome
+from repro.store.base import StoreHealth
+from repro.store.jsonl import (
+    append_jsonl_line,
+    open_for_append,
+    scan_jsonl,
+)
 
 __all__ = [
+    "CandidateMap",
     "CandidateRecord",
     "SearchBudget",
     "SearchResult",
     "append_candidate",
     "candidate_key",
+    "genome_fingerprint_validator",
     "load_candidates",
     "open_for_append",
+    "search_fingerprint",
 ]
 
 
@@ -172,22 +187,60 @@ class CandidateMap(Dict[str, CandidateRecord]):
         self.skipped = 0
 
 
+def genome_fingerprint_validator(record: CandidateRecord) -> bool:
+    """The search store's distrust check, as a store-level validator.
+
+    A persisted candidate is only trusted when its stored
+    ``fingerprint`` equals its own genome's *recomputed* fingerprint —
+    an internally inconsistent record (hand-edited file, partial
+    foreign merge, version drift in the genome codec) is rejected at
+    load time and its candidate re-evaluated.  The harness's second
+    check — stored fingerprint vs. the *regenerated* ask-sequence
+    genome — still runs on top; this hook catches corruption even for
+    keys the current invocation never regenerates.
+    """
+    return record.fingerprint == record.genome.fingerprint
+
+
+def search_fingerprint(
+    settings: SearchSettings, searcher: str, seed: int
+) -> str:
+    """The campaign fingerprint a search writes into store manifests.
+
+    Everything that namespaces candidate keys — the cell, the searcher
+    kind and the search seed — so a campaign directory refuses records
+    from a different search instead of interleaving them.
+    """
+    return f"{settings.key}/{searcher}-r{seed}"
+
+
 def load_candidates(path: str) -> CandidateMap:
     """Read a search results file into a key → record map.
 
-    Damage tolerance is the sweep layer's
-    (:func:`repro.experiments.persist.load_keyed_lines`): unparsable
-    lines are skipped and counted, later duplicate keys win (a
-    re-evaluated candidate supersedes its stale predecessor).
+    Thin shim over :func:`repro.store.jsonl.scan_jsonl` (the single
+    keyed-line loader): unparsable lines are skipped and counted,
+    later duplicate keys win (a re-evaluated candidate supersedes its
+    stale predecessor), and internally inconsistent records are
+    rejected by :func:`genome_fingerprint_validator` — rejections are
+    folded into the map's ``skipped`` counter here, matching the
+    historical single-number report.
     """
-    return load_keyed_lines(
-        path, CandidateRecord.from_dict, CandidateMap()
+    records = CandidateMap()
+    health = StoreHealth()
+    scan_jsonl(
+        path,
+        CandidateRecord.from_dict,
+        records,
+        health,
+        validator=genome_fingerprint_validator,
     )
+    records.skipped += health.issues
+    return records
 
 
-#: One candidate per JSON line, flushed on write — the sweep layer's
+#: One candidate per JSON line, flushed on write — the storage layer's
 #: appender works verbatim on any record with ``to_dict()``.
-append_candidate = append_record
+append_candidate = append_jsonl_line
 
 
 @dataclass
@@ -203,7 +256,12 @@ class SearchResult:
         best_ordinal: Where in the ask sequence the best candidate sat.
         executed: Candidates evaluated by this invocation.
         resumed: Candidates whose scores were reused from disk.
-        skipped_lines: Unparsable result-file lines dropped on load.
+        skipped_lines: Unparsable or distrusted result-file entries
+            dropped on load (mirrors ``health.issues``; kept as a
+            plain int for backward compatibility).
+        health: The result store's full
+            :class:`~repro.store.base.StoreHealth` damage report,
+            uniform with the sweep side.
         elapsed: Wall-clock seconds (excluded from equality).
         replay_verified: ``None`` until
             :func:`repro.search.evaluate.verify_replay` has certified
@@ -218,8 +276,18 @@ class SearchResult:
     executed: int = 0
     resumed: int = 0
     skipped_lines: int = 0
+    health: StoreHealth = field(
+        default_factory=StoreHealth, compare=False
+    )
     elapsed: float = field(default=0.0, compare=False)
     replay_verified: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        """Keep the legacy counter and the health report coherent."""
+        if self.skipped_lines and not self.health.issues:
+            self.health.skipped_lines = self.skipped_lines
+        elif self.health.issues and not self.skipped_lines:
+            self.skipped_lines = self.health.issues
 
     def summary(self) -> Dict:
         """A compact JSON-serialisable summary of the search."""

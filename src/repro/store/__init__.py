@@ -1,0 +1,181 @@
+"""Campaign result storage: one protocol, three backends.
+
+The storage seam between run generation (sweeps, searches, the future
+``repro serve`` daemon) and run consumption (resume, ``repro merge``,
+``repro report``)::
+
+    from repro.store import open_store
+    from repro.experiments.results import RunResult
+
+    with open_store("results/campaign", RunResult.from_dict,
+                    backend="sharded") as store:
+        done = store.claim_keys()          # resume set
+        store.append(record)               # durable per flush_every
+        for r in store.iter_records():     # streaming analysis
+            ...
+        print(store.manifest())
+
+Backends (see ``docs/STORAGE.md`` for the matrix):
+
+* ``jsonl`` — :class:`~repro.store.jsonl.JsonlStore`: today's
+  single-file JSON-lines format, bit for bit; the default, and every
+  pre-existing results file resumes through it unchanged.
+* ``sharded`` — :class:`~repro.store.sharded.ShardedStore`: a campaign
+  directory of key-hashed JSONL shards plus ``manifest.json``.
+* ``columnar`` — :class:`~repro.store.columnar.ColumnarStore`:
+  compressed npz record blocks (optional, NumPy-gated).
+
+Every backend shares resume-by-key, torn-write damage accounting
+(:class:`~repro.store.base.StoreHealth`), the validator hook, and the
+explicit ``flush_every`` durability policy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.store.base import (
+    ParseFn,
+    RawRecord,
+    Record,
+    ResultStore,
+    StoreHealth,
+    StoreMismatchError,
+    ValidatorFn,
+)
+from repro.store.columnar import COLUMNAR_FORMAT, ColumnarStore
+from repro.store.jsonl import (
+    JsonlStore,
+    append_jsonl_line,
+    iter_jsonl,
+    open_for_append,
+    scan_jsonl,
+    write_jsonl_atomic,
+)
+from repro.store.sharded import (
+    MANIFEST_NAME,
+    SHARDED_FORMAT,
+    ShardedStore,
+    merge_store,
+    read_manifest,
+    shard_index,
+)
+
+#: CLI vocabulary for ``--store``; ``auto`` defers to detection.
+STORE_BACKENDS = ("auto", "jsonl", "sharded", "columnar")
+
+
+def detect_backend(path: str) -> str:
+    """Infer the backend a results path refers to.
+
+    An existing campaign directory answers from its manifest (falling
+    back to ``sharded``, whose shard files are self-describing); a
+    trailing path separator requests a directory-shaped campaign even
+    before it exists; anything else is a single JSONL file — which
+    keeps every historical ``--results foo.jsonl`` invocation meaning
+    exactly what it always has.
+    """
+    if os.path.isdir(path):
+        manifest = read_manifest(path)
+        if manifest and manifest.get("backend") in (
+            "sharded",
+            "columnar",
+        ):
+            return manifest["backend"]
+        return "sharded"
+    if path.endswith(os.sep) or path.endswith("/"):
+        return "sharded"
+    return "jsonl"
+
+
+def open_store(
+    path: str,
+    parse: ParseFn,
+    backend: Optional[str] = None,
+    validator: Optional[ValidatorFn] = None,
+    flush_every: Optional[int] = None,
+    fingerprint: Optional[str] = None,
+    shards: Optional[int] = None,
+    fsync: bool = False,
+) -> ResultStore:
+    """Open (or create) the result store behind a ``--results`` path.
+
+    Args:
+        path: Results file (jsonl) or campaign directory
+            (sharded/columnar).
+        parse: Record codec (document → record with ``.key``).
+        backend: ``"jsonl"`` / ``"sharded"`` / ``"columnar"``; ``None``
+            or ``"auto"`` runs :func:`detect_backend` on the path.
+        validator: Optional load-time validator hook (see
+            :class:`~repro.store.base.StoreHealth`).
+        flush_every: Explicit flush policy; ``None`` keeps each
+            backend's documented default (jsonl: 1, sharded: 64,
+            columnar: 512).
+        fingerprint: Campaign/spec fingerprint for manifest-carrying
+            backends (mismatch on reopen raises
+            :class:`StoreMismatchError`).
+        shards: Shard count for a *new* sharded campaign (existing
+            campaigns keep their manifest's count).
+        fsync: fsync-on-flush for the JSONL-shaped backends.
+    """
+    if backend in (None, "auto"):
+        backend = detect_backend(path)
+    if backend == "jsonl":
+        kwargs = {} if flush_every is None else {"flush_every": flush_every}
+        return JsonlStore(
+            path, parse, validator=validator, fsync=fsync, **kwargs
+        )
+    if backend == "sharded":
+        kwargs = {} if flush_every is None else {"flush_every": flush_every}
+        if shards is not None:
+            kwargs["shards"] = shards
+        return ShardedStore(
+            path,
+            parse,
+            validator=validator,
+            fsync=fsync,
+            fingerprint=fingerprint,
+            **kwargs,
+        )
+    if backend == "columnar":
+        kwargs = {} if flush_every is None else {"flush_every": flush_every}
+        return ColumnarStore(
+            path,
+            parse,
+            validator=validator,
+            fingerprint=fingerprint,
+            **kwargs,
+        )
+    raise ValueError(
+        f"unknown store backend {backend!r}; known: "
+        f"{[b for b in STORE_BACKENDS if b != 'auto']}"
+    )
+
+
+__all__ = [
+    "COLUMNAR_FORMAT",
+    "ColumnarStore",
+    "JsonlStore",
+    "MANIFEST_NAME",
+    "ParseFn",
+    "RawRecord",
+    "Record",
+    "ResultStore",
+    "SHARDED_FORMAT",
+    "STORE_BACKENDS",
+    "ShardedStore",
+    "StoreHealth",
+    "StoreMismatchError",
+    "ValidatorFn",
+    "append_jsonl_line",
+    "detect_backend",
+    "iter_jsonl",
+    "merge_store",
+    "open_for_append",
+    "open_store",
+    "read_manifest",
+    "scan_jsonl",
+    "shard_index",
+    "write_jsonl_atomic",
+]

@@ -1,0 +1,306 @@
+"""Sharded campaign backend: per-keyspace JSONL shards + a manifest.
+
+A campaign directory holds ``shard-NNNN.jsonl`` files plus
+``manifest.json``.  Each record lands in the shard selected by a stable
+hash of its key (``crc32(key) % shards``), so shard membership is a
+pure function of the record — independent of worker count, append
+order, interruptions and resume history.  (Literal per-*worker* shards
+could not give the deterministic, worker-count-independent layout the
+sweep contract requires; per-key-hash shards do, while still spreading
+appends across ``shards`` independently flushable files.)
+
+Why shards beat one big file at campaign scale:
+
+* append throughput — the default ``flush_every=64`` amortises flush
+  syscalls over batches (the single-file default flushes every record
+  for historical durability; ``benchmarks/bench_sweep.py`` measures
+  the gap), and the per-shard handles keep lines short-seeked;
+* bounded damage — a torn tail costs one line of one shard;
+* streaming analysis — ``repro report`` iterates shard by shard and
+  never holds the campaign in memory.
+
+``manifest.json`` records the format version, the backend, the shard
+count, the campaign's spec fingerprint, and a per-shard record
+inventory.  Reopening a campaign directory written by a *different*
+spec fingerprint raises :class:`~repro.store.base.StoreMismatchError`
+instead of silently interleaving two campaigns.
+
+:func:`merge_store` is the ``repro merge`` engine: fold any store's
+records (deduplicated by key, key-sorted) into one canonical JSONL
+file that the default :class:`~repro.store.jsonl.JsonlStore` resumes.
+The write is atomic and the operation idempotent — merging twice
+produces byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, TextIO
+
+from repro.store.base import (
+    ParseFn,
+    Record,
+    ResultStore,
+    StoreMismatchError,
+    ValidatorFn,
+)
+from repro.store.jsonl import (
+    iter_jsonl,
+    open_for_append,
+    scan_jsonl,
+    write_jsonl_atomic,
+)
+
+#: The manifest file inside every campaign directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Format tag written to (and required from) sharded manifests.
+SHARDED_FORMAT = "repro-store/sharded-v1"
+
+
+def read_manifest(root: str) -> Optional[Dict[str, Any]]:
+    """Load ``manifest.json`` from a campaign dir, ``None`` if absent.
+
+    A torn manifest (hard kill mid-write never happens — it is written
+    atomically — but a foreign file might sit there) raises
+    ``ValueError`` with the offending path, not a JSON traceback.
+    """
+    path = os.path.join(root, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (ValueError, OSError) as exc:
+        raise ValueError(f"unreadable campaign manifest {path}: {exc}")
+
+
+def shard_index(key: str, shards: int) -> int:
+    """The shard a key lives in: ``crc32(key) % shards``.
+
+    ``zlib.crc32`` is stable across processes and Python versions
+    (the same derivation the task-seed logic uses), so the layout is
+    reproducible anywhere.
+    """
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+class ShardedStore(ResultStore):
+    """Campaign-directory backend: hashed JSONL shards + manifest.
+
+    Args:
+        root: The campaign directory (created on first append).
+        parse: Record codec (document → record with ``.key``).
+        validator: Optional load-time validator hook.
+        shards: Shard-file count.  Fixed at campaign creation; on
+            reopen the manifest's count is authoritative (a different
+            requested count is ignored — the layout is already on
+            disk).
+        flush_every: Flush after every N appends across the store
+            (default 64: the throughput win over per-record flushing).
+        fsync: Additionally ``os.fsync`` dirty shards on flush.
+        fingerprint: Optional campaign/spec fingerprint.  Written to
+            the manifest; a reopen whose fingerprint differs from the
+            stored one raises
+            :class:`~repro.store.base.StoreMismatchError`.
+    """
+
+    backend = "sharded"
+
+    def __init__(
+        self,
+        root: str,
+        parse: ParseFn,
+        validator: Optional[ValidatorFn] = None,
+        shards: int = 8,
+        flush_every: int = 64,
+        fsync: bool = False,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Adopt (or plan) the campaign layout and check fingerprints."""
+        super().__init__(parse, validator)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if flush_every < 1:
+            raise ValueError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
+        self.root = root
+        self.flush_every = flush_every
+        self.fsync = fsync
+        self.fingerprint = fingerprint
+        self.shards = shards
+        self._files: Dict[int, TextIO] = {}
+        self._dirty: set = set()
+        self._unflushed = 0
+        self._record_counts: Dict[int, int] = {}
+        existing = read_manifest(root)
+        if existing is not None:
+            if existing.get("format") != SHARDED_FORMAT:
+                raise ValueError(
+                    f"{root} is not a {SHARDED_FORMAT} campaign "
+                    f"(manifest format: {existing.get('format')!r})"
+                )
+            stored = existing.get("fingerprint")
+            if (
+                fingerprint is not None
+                and stored is not None
+                and stored != fingerprint
+            ):
+                raise StoreMismatchError(
+                    f"campaign {root} was written for a different spec "
+                    f"(fingerprint {stored} != {fingerprint}); use a "
+                    "fresh --results directory per spec"
+                )
+            self.shards = int(existing.get("shards", shards))
+            if fingerprint is None:
+                self.fingerprint = stored
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def shard_path(self, index: int) -> str:
+        """The shard file holding keys hashed to ``index``."""
+        return os.path.join(self.root, f"shard-{index:04d}.jsonl")
+
+    def _shard_of(self, record: Record) -> int:
+        """The shard index a record belongs to (pure function of key)."""
+        return shard_index(record.key, self.shards)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def claim_keys(self) -> Dict[str, Record]:
+        """Scan every shard into one key → record map.
+
+        Shards are scanned in index order; within a shard later
+        duplicates win, exactly like the single-file format.  The scan
+        also refreshes the per-shard record inventory the manifest
+        reports.
+        """
+        records: Dict[str, Record] = {}
+        for i in range(self.shards):
+            before = len(records)
+            scan_jsonl(
+                self.shard_path(i),
+                self.parse,
+                records,
+                self.health,
+                self.validator,
+            )
+            self._record_counts[i] = len(records) - before
+        return records
+
+    def iter_records(self) -> Iterator[Record]:
+        """Stream every shard's records, shard by shard."""
+        for i in range(self.shards):
+            yield from iter_jsonl(
+                self.shard_path(i),
+                self.parse,
+                self.health,
+                self.validator,
+            )
+
+    def append(self, record: Record) -> None:
+        """Route one record to its shard, healing torn tails lazily."""
+        index = self._shard_of(record)
+        f = self._files.get(index)
+        if f is None:
+            os.makedirs(self.root, exist_ok=True)
+            if not os.path.exists(
+                os.path.join(self.root, MANIFEST_NAME)
+            ):
+                # Stamp the campaign's identity (format, backend,
+                # fingerprint) the moment it comes into existence, so
+                # a concurrent or later open gets mismatch protection
+                # even if this writer dies before its first close.
+                self._write_manifest()
+            f = open_for_append(self.shard_path(index))
+            self._files[index] = f
+        f.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        self._dirty.add(index)
+        self._record_counts[index] = self._record_counts.get(index, 0) + 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush every dirty shard's buffered appends to the OS.
+
+        Deliberately does *not* rewrite ``manifest.json``: the shard
+        files are self-describing (``claim_keys`` scans them directly
+        and refreshes the inventory), so the manifest only needs to be
+        accurate at :meth:`close` — an atomic rewrite per flush would
+        dominate append cost at campaign scale.
+        """
+        for index in sorted(self._dirty):
+            f = self._files[index]
+            f.flush()
+            if self.fsync:
+                os.fsync(f.fileno())
+        self._dirty.clear()
+        self._unflushed = 0
+
+    def manifest(self) -> Dict[str, Any]:
+        """The campaign inventory (also persisted as manifest.json)."""
+        shard_files = {
+            os.path.basename(self.shard_path(i)): count
+            for i, count in sorted(self._record_counts.items())
+            if count
+        }
+        return {
+            "format": SHARDED_FORMAT,
+            "backend": self.backend,
+            "shards": self.shards,
+            "fingerprint": self.fingerprint,
+            "records": sum(shard_files.values()),
+            "shard_files": shard_files,
+        }
+
+    def close(self) -> None:
+        """Flush, persist the manifest, and close shard handles."""
+        self.flush()
+        if self._files:
+            self._write_manifest()
+        for f in self._files.values():
+            f.close()
+        self._files.clear()
+
+    # ------------------------------------------------------------------
+    # Manifest persistence
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        """Atomically rewrite manifest.json (temp file + rename)."""
+        os.makedirs(self.root, exist_ok=True)
+        path = os.path.join(self.root, MANIFEST_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(self.manifest(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)
+
+
+def merge_store(source: ResultStore, out_path: str) -> int:
+    """Fold any store into one canonical, key-sorted JSONL file.
+
+    The ``repro merge`` engine.  Records are deduplicated by key
+    (later storage order wins, matching resume semantics); an existing
+    ``out_path`` contributes its records first, so merging additional
+    shards into a previous merge is an update, not a clobber.  The
+    output is written atomically and sorted by key, so the operation
+    is idempotent: merging the same campaign twice yields
+    byte-identical files.  Returns the merged record count.
+    """
+    from repro.store.base import RawRecord
+
+    merged: Dict[str, Record] = {}
+    if os.path.exists(out_path):
+        # Re-read the previous merge with the identity codec so merge
+        # works for any record type without knowing its dataclass.
+        scan_jsonl(out_path, RawRecord, merged, source.health)
+    for record in source.iter_records():
+        merged[record.key] = record
+    ordered: List[Record] = [merged[k] for k in sorted(merged)]
+    return write_jsonl_atomic(out_path, ordered)

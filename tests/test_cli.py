@@ -369,6 +369,109 @@ class TestLowerBound:
             )
 
 
+class TestStoreCommands:
+    def spec_file(self, tmp_path, seeds=3):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "name": "cli-store",
+                    "algorithms": ["round_robin"],
+                    "graphs": [{"kind": "line", "n": 6}],
+                    "seeds": list(range(seeds)),
+                }
+            )
+        )
+        return str(spec_file)
+
+    def test_sweep_sharded_campaign_resumes(self, capsys, tmp_path):
+        spec = self.spec_file(tmp_path)
+        camp = str(tmp_path / "camp")
+        assert main(
+            ["sweep", "--spec", spec, "--results", camp,
+             "--store", "sharded"]
+        ) == 0
+        assert "3 run, 0 resumed" in capsys.readouterr().out
+        # auto-detection resumes the campaign directory without --store
+        assert main(
+            ["sweep", "--spec", spec, "--results", camp]
+        ) == 0
+        assert "0 run, 3 resumed" in capsys.readouterr().out
+        assert (tmp_path / "camp" / "manifest.json").exists()
+
+    def test_merge_then_resume_merged_file(self, capsys, tmp_path):
+        spec = self.spec_file(tmp_path)
+        camp = str(tmp_path / "camp")
+        merged = str(tmp_path / "merged.jsonl")
+        assert main(
+            ["sweep", "--spec", spec, "--results", camp,
+             "--store", "sharded"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["merge", "--results", camp, "--out", merged]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 record(s)" in out
+        assert main(
+            ["sweep", "--spec", spec, "--results", merged]
+        ) == 0
+        assert "0 run, 3 resumed" in capsys.readouterr().out
+
+    def test_report_renders_tables(self, capsys, tmp_path):
+        spec = self.spec_file(tmp_path)
+        camp = str(tmp_path / "camp")
+        assert main(
+            ["sweep", "--spec", spec, "--results", camp,
+             "--store", "sharded"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "--results", camp]) == 0
+        out = capsys.readouterr().out
+        assert "3 records" in out
+        assert "completion rounds" in out
+
+    def test_report_json(self, capsys, tmp_path):
+        spec = self.spec_file(tmp_path)
+        results = str(tmp_path / "r.jsonl")
+        assert main(
+            ["sweep", "--spec", spec, "--results", results]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "--results", results, "--json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["records"] == 3
+        assert decoded["cells"]
+
+    def test_report_empty_store_fails(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", "--results", str(empty)]) == 1
+        assert "holds no sweep records" in capsys.readouterr().err
+
+    def test_search_sharded_campaign_resumes(self, capsys, tmp_path):
+        camp = str(tmp_path / "search-camp")
+        args = [
+            "search", "--graph", "line", "--n", "6",
+            "--algorithm", "round_robin", "--searcher", "random",
+            "--budget", "4", "--results", camp,
+            "--store", "sharded",
+        ]
+        assert main(args) == 0
+        assert "4" in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "evaluations resumed" in out
+        assert (tmp_path / "search-camp" / "manifest.json").exists()
+
+    def test_unknown_store_backend_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["sweep", "--spec", self.spec_file(tmp_path),
+                 "--store", "nope"]
+            )
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -188,8 +188,48 @@ class TestRunSearch:
             CELL, searcher="random", budget=self.budget(4), seed=5,
             results_path=path,
         )
-        # The forged record was re-evaluated, not trusted.
+        # The store-level validator rejects the internally inconsistent
+        # forgery at load time, so the earlier honest record for the
+        # same key is resumed instead — no re-evaluation needed, and
+        # the forged objective never reaches the searcher.
+        assert resumed.executed == 0
+        assert resumed.resumed == 4
+        assert resumed.health.rejected_records == 1
+        assert resumed.best.objective < 10_000
+
+    def test_resume_distrusts_wrong_genome_for_key(self, tmp_path):
+        path = str(tmp_path / "search.jsonl")
+        run_search(
+            CELL, searcher="random", budget=self.budget(4), seed=5,
+            results_path=path,
+        )
+        records = load_candidates(path)
+        key0 = candidate_key(CELL, "random", 5, 0)
+        key1 = candidate_key(CELL, "random", 5, 1)
+        # Internally consistent (fingerprint matches its own genome) so
+        # the store validator accepts it — but the genome belongs to a
+        # *different* candidate, so the harness's regenerated-genome
+        # check must re-evaluate rather than trust the stored score.
+        wrong = CandidateRecord(
+            key=key0,
+            ordinal=0,
+            searcher="random",
+            fingerprint=records[key1].genome.fingerprint,
+            genome=records[key1].genome,
+            objective=10_000,
+            completed=False,
+            completion_round=None,
+            rounds=0,
+            engine="reference",
+        )
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(wrong.to_dict(), sort_keys=True) + "\n")
+        resumed = run_search(
+            CELL, searcher="random", budget=self.budget(4), seed=5,
+            results_path=path,
+        )
         assert resumed.executed == 1
+        assert resumed.health.rejected_records == 0
         assert resumed.best.objective < 10_000
 
     def test_torn_lines_counted_and_healed(self, tmp_path):

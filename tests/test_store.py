@@ -1,0 +1,506 @@
+"""Tests for the repro.store result-storage subsystem.
+
+Covers the backend differential contract (same sweep through every
+backend yields identical records and summaries), resume-by-key under
+interruption, torn-line healing, merge idempotence, StoreHealth
+accounting, the validator hook, RunningSummary equivalence, and the
+streaming ``repro report`` path.
+"""
+
+import json
+import math
+import os
+import random
+
+import pytest
+
+from repro.analysis.report import CampaignReport, paper_reference
+from repro.analysis.stats import RunningSummary, summarize
+from repro.experiments import ExperimentSpec, run_sweep
+from repro.experiments.results import RunResult
+from repro.store import (
+    JsonlStore,
+    RawRecord,
+    ShardedStore,
+    StoreHealth,
+    StoreMismatchError,
+    detect_backend,
+    merge_store,
+    open_store,
+    read_manifest,
+    shard_index,
+)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="tiny",
+        algorithms=["round_robin"],
+        graphs=[("line", 6), ("line", 10)],
+        adversaries=["none"],
+        seeds=range(2),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def assert_summary_close(a, b):
+    assert a.count == b.count
+    for name in (
+        "mean",
+        "median",
+        "stdev",
+        "minimum",
+        "maximum",
+        "ci95_half_width",
+    ):
+        assert math.isclose(
+            getattr(a, name),
+            getattr(b, name),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        ), name
+
+
+def make_record(i: int, completion: int = None, sends: int = 0) -> RunResult:
+    if completion is None:
+        completion = 5 + (i % 7)
+    return RunResult(
+        key=f"syn/round_robin/line:n8/none/CR1-synchronous/s{i}",
+        sweep="syn",
+        algorithm="round_robin",
+        graph_kind="line",
+        n=8,
+        graph_n=8,
+        adversary_kind="none",
+        collision_rule="CR1",
+        start_mode="synchronous",
+        seed=i,
+        completed=True,
+        completion_round=completion,
+        rounds=completion,
+        total_transmissions=sends or completion,
+        engine="reference",
+    )
+
+
+BACKENDS = ["jsonl", "sharded", "columnar"]
+
+
+def open_backend(backend, tmp_path, name="store", **kwargs):
+    if backend == "columnar":
+        pytest.importorskip("numpy")
+    path = str(tmp_path / (name if backend != "jsonl" else name + ".jsonl"))
+    return open_store(path, RunResult.from_dict, backend=backend, **kwargs)
+
+
+class TestStoreHealth:
+    def test_clean_health_warns_nothing(self):
+        assert StoreHealth().warning("r.jsonl") is None
+        assert StoreHealth().issues == 0
+
+    def test_warning_text_unified(self):
+        health = StoreHealth(skipped_lines=2, rejected_records=1)
+        text = health.warning("r.jsonl", noun="candidate")
+        assert "2 unparsable line(s)" in text
+        assert "1 validator-rejected record(s)" in text
+        assert "candidates were re-run" in text
+
+    def test_merge_accumulates(self):
+        health = StoreHealth(skipped_lines=1)
+        health.merge(StoreHealth(skipped_lines=2, rejected_records=3))
+        assert health.skipped_lines == 3
+        assert health.rejected_records == 3
+        assert health.issues == 6
+
+
+class TestBackendRoundTrip:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_round_trip_preserves_records(self, backend, tmp_path):
+        records = [make_record(i) for i in range(20)]
+        with open_backend(backend, tmp_path) as store:
+            for record in records:
+                store.append(record)
+        reopened = open_backend(backend, tmp_path)
+        claimed = reopened.claim_keys()
+        assert claimed == {r.key: r for r in records}
+        streamed = sorted(reopened.iter_records(), key=lambda r: r.key)
+        assert streamed == sorted(records, key=lambda r: r.key)
+        assert reopened.health.issues == 0
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_later_duplicate_key_wins(self, backend, tmp_path):
+        with open_backend(backend, tmp_path) as store:
+            store.append(make_record(0, completion=5))
+            store.append(make_record(0, completion=9))
+        reopened = open_backend(backend, tmp_path)
+        claimed = reopened.claim_keys()
+        assert len(claimed) == 1
+        assert next(iter(claimed.values())).completion_round == 9
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_validator_rejects_and_counts(self, backend, tmp_path):
+        with open_backend(backend, tmp_path) as store:
+            for i in range(4):
+                store.append(make_record(i))
+        reopened = open_backend(
+            backend,
+            tmp_path,
+            validator=lambda r: r.seed != 2,
+        )
+        claimed = reopened.claim_keys()
+        assert len(claimed) == 3
+        assert reopened.health.rejected_records == 1
+        assert "1 validator-rejected record(s)" in (
+            reopened.health.warning("store")
+        )
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_manifest_describes_store(self, backend, tmp_path):
+        with open_backend(backend, tmp_path) as store:
+            for i in range(6):
+                store.append(make_record(i))
+            store.flush()
+            manifest = store.manifest()
+        assert manifest["backend"] == backend
+        count = manifest.get("records", manifest.get("appended"))
+        assert count == 6
+
+
+class TestSweepDifferential:
+    """The same sweep produces identical contents on every backend."""
+
+    def test_all_backends_agree(self, tmp_path):
+        spec = tiny_spec(seeds=range(3))
+        claims = {}
+        summaries = {}
+        for backend in BACKENDS:
+            if backend == "columnar":
+                pytest.importorskip("numpy")
+            path = str(
+                tmp_path / ("camp-" + backend)
+                if backend != "jsonl"
+                else tmp_path / "camp.jsonl"
+            )
+            result = run_sweep(spec, results_path=path, store=backend)
+            assert result.executed == spec.size
+            assert result.health.issues == 0
+            store = open_store(
+                path, RunResult.from_dict, backend=backend
+            )
+            claims[backend] = store.claim_keys()
+            summaries[backend] = {
+                key: record.to_dict()
+                for key, record in claims[backend].items()
+            }
+            store.close()
+        assert summaries["jsonl"] == summaries["sharded"]
+        assert summaries["jsonl"] == summaries["columnar"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_interrupt_resumes_only_missing(self, backend, tmp_path):
+        if backend == "columnar":
+            pytest.importorskip("numpy")
+        spec = tiny_spec(seeds=range(3))
+        path = str(
+            tmp_path / "camp.jsonl"
+            if backend == "jsonl"
+            else tmp_path / "camp"
+        )
+        # Simulate a mid-campaign interrupt: persist half the tasks.
+        tasks = spec.tasks()
+        half = tasks[: len(tasks) // 2]
+        with open_store(
+            path, RunResult.from_dict, backend=backend
+        ) as store:
+            partial = run_sweep(spec)
+            by_key = {r.key: r for r in partial.records}
+            for task in half:
+                store.append(by_key[task.key])
+        resumed = run_sweep(spec, results_path=path, store=backend)
+        assert resumed.resumed == len(half)
+        assert resumed.executed == spec.size - len(half)
+        assert {r.key for r in resumed.records} == {
+            t.key for t in tasks
+        }
+        # A second run resumes everything.
+        again = run_sweep(spec, results_path=path, store=backend)
+        assert again.executed == 0
+        assert again.resumed == spec.size
+
+    def test_worker_count_does_not_change_sharded_layout(self, tmp_path):
+        spec = tiny_spec(seeds=range(2))
+        layouts = []
+        for workers, name in ((1, "w1"), (2, "w2")):
+            root = tmp_path / name
+            run_sweep(
+                spec,
+                workers=workers,
+                results_path=str(root),
+                store="sharded",
+            )
+            manifest = read_manifest(str(root))
+            shard_keys = {}
+            for shard in manifest["shard_files"]:
+                with open(root / shard, encoding="utf-8") as f:
+                    shard_keys[shard] = sorted(
+                        json.loads(line)["key"] for line in f
+                    )
+            layouts.append(shard_keys)
+        assert layouts[0] == layouts[1]
+
+    def test_shard_index_is_pure_key_hash(self):
+        assert shard_index("a/key", 8) == shard_index("a/key", 8)
+        spread = {shard_index(f"k{i}", 8) for i in range(256)}
+        assert len(spread) > 1
+
+
+class TestTornLines:
+    def test_jsonl_store_heals_torn_tail(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        good = make_record(0)
+        path.write_text(
+            json.dumps(good.to_dict(), sort_keys=True)
+            + "\n"
+            + '{"key": "torn-fragm'
+        )
+        store = JsonlStore(str(path), RunResult.from_dict)
+        claimed = store.claim_keys()
+        assert list(claimed) == [good.key]
+        assert store.health.skipped_lines == 1
+        store.append(make_record(1))
+        store.close()
+        # The torn tail got its newline before the append landed.
+        reopened = JsonlStore(str(path), RunResult.from_dict)
+        assert len(reopened.claim_keys()) == 2
+        assert reopened.health.skipped_lines == 1
+        reopened.close()
+
+    def test_sharded_store_counts_torn_shard_lines(self, tmp_path):
+        root = tmp_path / "camp"
+        with ShardedStore(
+            str(root), RunResult.from_dict, shards=2
+        ) as store:
+            for i in range(4):
+                store.append(make_record(i))
+        # Tear the final line of one shard.
+        manifest = read_manifest(str(root))
+        victim = root / next(iter(manifest["shard_files"]))
+        victim.write_bytes(victim.read_bytes()[:-20])
+        reopened = ShardedStore(str(root), RunResult.from_dict)
+        claimed = reopened.claim_keys()
+        assert reopened.health.skipped_lines == 1
+        assert len(claimed) == 3
+        reopened.close()
+
+
+class TestMerge:
+    def test_merge_is_idempotent_and_resumable(self, tmp_path):
+        spec = tiny_spec(seeds=range(2))
+        root = str(tmp_path / "camp")
+        run_sweep(spec, results_path=root, store="sharded")
+        out = str(tmp_path / "merged.jsonl")
+        source = open_store(root, RawRecord, backend="sharded")
+        count = merge_store(source, out)
+        first = open(out, "rb").read()
+        count_again = merge_store(source, out)
+        second = open(out, "rb").read()
+        source.close()
+        assert count == count_again == spec.size
+        assert first == second  # byte-identical re-merge
+        # Keys come out sorted, one JSON document per line.
+        keys = [
+            json.loads(line)["key"]
+            for line in first.decode().splitlines()
+        ]
+        assert keys == sorted(keys)
+        # The merged file is a fully resumable single-file ledger.
+        resumed = run_sweep(spec, results_path=out)
+        assert resumed.executed == 0
+        assert resumed.resumed == spec.size
+
+    def test_merge_overlays_existing_output(self, tmp_path):
+        out = str(tmp_path / "all.jsonl")
+        with JsonlStore(out, RunResult.from_dict) as dest:
+            dest.append(make_record(0, completion=5))
+        src_root = str(tmp_path / "camp")
+        with ShardedStore(src_root, RunResult.from_dict) as src:
+            src.append(make_record(0, completion=9))
+            src.append(make_record(1))
+        source = open_store(src_root, RawRecord, backend="sharded")
+        count = merge_store(source, out)
+        source.close()
+        assert count == 2
+        merged = JsonlStore(out, RunResult.from_dict).claim_keys()
+        assert merged[make_record(0).key].completion_round == 9
+
+
+class TestFingerprints:
+    def test_sharded_rejects_foreign_fingerprint(self, tmp_path):
+        root = str(tmp_path / "camp")
+        with ShardedStore(
+            str(root),
+            RunResult.from_dict,
+            fingerprint="aaaa",
+        ) as store:
+            store.append(make_record(0))
+        ShardedStore(
+            str(root), RunResult.from_dict, fingerprint="aaaa"
+        ).close()
+        with pytest.raises(StoreMismatchError):
+            ShardedStore(
+                str(root), RunResult.from_dict, fingerprint="bbbb"
+            )
+
+    def test_detect_backend(self, tmp_path):
+        assert detect_backend(str(tmp_path / "r.jsonl")) == "jsonl"
+        assert detect_backend(str(tmp_path / "camp") + os.sep) == (
+            "sharded"
+        )
+        root = str(tmp_path / "camp")
+        with ShardedStore(root, RunResult.from_dict) as store:
+            store.append(make_record(0))
+        assert detect_backend(root) == "sharded"
+
+
+class TestFlushPolicy:
+    def test_sharded_buffers_until_flush_every(self, tmp_path):
+        root = tmp_path / "camp"
+        store = ShardedStore(
+            str(root),
+            RunResult.from_dict,
+            shards=1,
+            flush_every=100,
+        )
+        for i in range(5):
+            store.append(make_record(i))
+        shard = root / "shard-0000.jsonl"
+        buffered = (
+            len(shard.read_text().splitlines())
+            if shard.exists()
+            else 0
+        )
+        store.flush()
+        assert len(shard.read_text().splitlines()) == 5
+        assert buffered < 5  # flush_every really deferred durability
+        store.close()
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlStore(
+                str(tmp_path / "r.jsonl"),
+                RunResult.from_dict,
+                flush_every=0,
+            )
+
+
+class TestRunningSummary:
+    def test_matches_batch_summarize(self):
+        rng = random.Random(7)
+        values = [rng.randint(1, 40) for _ in range(500)]
+        running = RunningSummary().update(values)
+        batch = summarize(values)
+        assert running.count == batch.count
+        assert math.isclose(running.mean, batch.mean)
+        assert math.isclose(running.stdev, batch.stdev)
+        assert math.isclose(
+            running.ci95_half_width, batch.ci95_half_width
+        )
+        assert running.median() == batch.median
+        assert_summary_close(running.summary(), batch)
+
+    def test_merge_matches_concatenation(self):
+        rng = random.Random(11)
+        a = [rng.uniform(0, 9) for _ in range(123)]
+        b = [rng.uniform(0, 9) for _ in range(77)]
+        merged = RunningSummary().update(a).merge(
+            RunningSummary().update(b)
+        )
+        batch = summarize(a + b)
+        assert merged.count == batch.count
+        assert math.isclose(merged.mean, batch.mean)
+        assert math.isclose(merged.stdev, batch.stdev)
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            RunningSummary().summary()
+
+    def test_singleton(self):
+        running = RunningSummary().update([4.0])
+        assert running.stdev == 0.0
+        assert running.ci95_half_width == 0.0
+        assert running.median() == 4.0
+
+
+class TestCampaignReport:
+    def test_streaming_report_matches_records(self, tmp_path):
+        spec = tiny_spec(seeds=range(4))
+        root = str(tmp_path / "camp")
+        result = run_sweep(spec, results_path=root, store="sharded")
+        store = open_store(root, RunResult.from_dict)
+        report = CampaignReport.from_store(store)
+        store.close()
+        assert report.records == spec.size
+        by_cell = {}
+        for record in result.records:
+            by_cell.setdefault(
+                (record.graph_kind, record.graph_n), []
+            ).append(record.completion_round)
+        for (
+            sweep,
+            algorithm,
+            graph_kind,
+            n,
+            collision_rule,
+        ), cell in report.cells.items():
+            want = summarize(by_cell[(graph_kind, n)])
+            assert_summary_close(cell.completion.summary(), want)
+        rendered = report.render(title="t")
+        assert "completion rounds" in rendered
+        payload = report.to_dict()
+        assert payload["records"] == spec.size
+
+    def test_large_campaign_streams(self, tmp_path):
+        # 10_000 synthetic records through a sharded store, then a
+        # streaming report — exercising the acceptance-scale path
+        # without holding the record list in memory anywhere.
+        root = str(tmp_path / "big")
+        with ShardedStore(
+            str(root), RunResult.from_dict, flush_every=512
+        ) as store:
+            for i in range(10_000):
+                store.append(make_record(i))
+        store = ShardedStore(str(root), RunResult.from_dict)
+        report = CampaignReport.from_store(store)
+        store.close()
+        assert report.records == 10_000
+        cell = next(iter(report.cells.values()))
+        want = summarize([5 + (i % 7) for i in range(10_000)])
+        assert_summary_close(cell.completion.summary(), want)
+
+    def test_paper_reference_bounds(self):
+        class FakeCell:
+            capped = 0
+
+        label, bound, check = paper_reference(
+            "round_robin", "clique-bridge", 9, None
+        )
+        assert "Thm 2" in label
+        assert bound == 9 - 3
+        assert check(6.0, FakeCell()) == "reached"
+        assert check(5.0, FakeCell()) == "not reached"
+        assert paper_reference("round_robin", "line", 8, None) is None
+        label, bound, check = paper_reference(
+            "strong_select", "line", 8, None
+        )
+        assert "Thm 10" in label
+        assert check(bound, FakeCell()) == "holds"
+        assert check(bound + 1, FakeCell()) == "VIOLATED"
+        label, bound, check = paper_reference(
+            "harmonic", "line", 8, harmonic_T=3
+        )
+        assert "Thm 18" in label
+        assert bound > 0
