@@ -307,6 +307,7 @@ def cmd_search(args) -> int:
             verify=args.verify,
             store=_store_backend(args),
             flush_every=args.flush_every,
+            evaluator=args.evaluator,
         )
     except (ValueError, ImportError) as exc:
         raise SystemExit(str(exc))
@@ -550,9 +551,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=list(ENGINE_NAMES), default=None,
         help="execution engine for every task (overrides the spec "
         "file's engines axis); vector runs each science cell's whole "
-        "seed list in NumPy lockstep, and tasks whose combination is "
-        "ineligible for a mask engine silently use the reference "
-        "engine",
+        "seed list in NumPy lockstep (seed-dependent graph kinds get "
+        "one graph per lane) and silently uses the reference engine "
+        "only when NumPy is missing",
     )
     sweep.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=True,
@@ -634,8 +635,16 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--engine", choices=["auto", "reference", "fast"],
         default="auto",
-        help="evaluation engine: auto picks the fast engine whenever "
-        "the candidate's adversary is mask-eligible",
+        help="sandbox evaluation engine: auto picks the fast engine "
+        "(CR4 genomes included; reference forces the baseline)",
+    )
+    search.add_argument(
+        "--evaluator", choices=["sandbox", "lockstep"],
+        default="sandbox",
+        help="population-scoring backend: sandbox runs each candidate "
+        "alone (--workers parallelises), lockstep scores whole "
+        "batches as NumPy vector-engine lanes; scores are identical, "
+        "and --results files resume across backends",
     )
     search.add_argument(
         "--verify", action=argparse.BooleanOptionalAction, default=True,

@@ -47,16 +47,18 @@ Invariants:
   signature of a hard kill mid-write — by skipping (and counting)
   what does not parse on load and starting the next append on a
   fresh line.
-* **Transparent fast paths** — a task whose spec requests
-  ``engine="fast"`` or ``engine="vector"`` runs on that engine only
-  when the shared eligibility truth table
-  (:func:`repro.sim.fast_engine.mask_engine_eligible`) approves its
-  collision-rule/adversary combination, and silently downgrades to the
-  reference engine otherwise; either way the trace, and therefore the
+* **Transparent fast paths** — the shared eligibility truth table
+  (:func:`repro.sim.fast_engine.mask_engine_eligible`) is all-yes:
+  every collision-rule/adversary combination, CR4 real resolvers
+  included, runs on the engine the spec requests.  The one remaining
+  downgrade is ``engine="vector"`` without NumPy, which silently uses
+  the reference engine; either way the trace, and therefore the
   record, is the same (the engines are proven trace-equivalent).
-  Eligible vector cells additionally run their whole seed list through
-  one :func:`repro.sim.vector_engine.run_lockstep` call instead of a
-  per-seed loop — pure scheduling, same records.
+  Vector cells run their whole seed list through one
+  :func:`repro.sim.vector_engine.run_lockstep` call instead of a
+  per-seed loop — seed-independent cells share one graph and reach
+  matrix, seed-dependent kinds (``gnp``, ``gray-zone``) hand lockstep
+  one graph per lane — pure scheduling, same records.
 """
 
 from __future__ import annotations
@@ -160,8 +162,9 @@ def _route_engine(engine_name: str, rule, adversary) -> str:
     trace-equivalent, so the record is the same either way (only its
     ``engine`` field tells which implementation ran).  Eligibility is
     the shared truth table of
-    :func:`repro.sim.fast_engine.mask_engine_eligible`; the vector gate
-    additionally requires NumPy.
+    :func:`repro.sim.fast_engine.mask_engine_eligible` — all-yes since
+    the CR4 consult paths closed the last gap — so the only downgrade
+    left in practice is a vector request without NumPy.
     """
     if engine_name == "fast" and not fast_engine_eligible(rule, adversary):
         return "reference"
@@ -215,16 +218,17 @@ def execute_batch(batch: CellBatch) -> List[RunResult]:
     graph is built, the round cap derived and the engine topology
     compiled exactly once for the whole batch; seed-dependent kinds
     (``gnp``, ``gray-zone``) rebuild all three per seed.  Cells that
-    request ``engine="vector"`` and share their graph run all seeds at
-    once through the lockstep matrix path
-    (:func:`repro.sim.vector_engine.run_lockstep`); every other cell
-    runs each seed through the unchanged :func:`execute_task` pipeline.
-    Either way the returned records are byte-identical to per-task
-    execution (the engines are proven trace-equivalent).
+    request ``engine="vector"`` run all seeds at once through the
+    lockstep matrix path (:func:`repro.sim.vector_engine.run_lockstep`)
+    — shared cells on one graph, seed-dependent cells with one graph
+    per lane; every other cell runs each seed through the unchanged
+    :func:`execute_task` pipeline.  Either way the returned records are
+    byte-identical to per-task execution (the engines are proven
+    trace-equivalent).
     """
     share = not graph_seed_dependent(batch.tasks[0].graph_kind)
-    if share and batch.tasks[0].engine == "vector":
-        lockstep = _execute_batch_lockstep(batch)
+    if batch.tasks[0].engine == "vector":
+        lockstep = _execute_batch_lockstep(batch, share)
         if lockstep is not None:
             return lockstep
     graph: Optional[DualGraph] = None
@@ -248,25 +252,31 @@ def execute_batch(batch: CellBatch) -> List[RunResult]:
 
 
 def _execute_batch_lockstep(
-    batch: CellBatch,
+    batch: CellBatch, share: bool
 ) -> Optional[List[RunResult]]:
     """Run a vector cell's whole seed list in one lockstep call.
 
-    Returns ``None`` when the cell's collision-rule/adversary
-    combination is ineligible for the mask algebra (or NumPy is
-    missing); the caller then takes the per-task path, whose
-    :func:`_route_engine` downgrade produces the identical records on
-    the reference engine.  Per-seed adversaries, processes and engine
-    seeds are built exactly as :func:`execute_task` would, so the
-    lockstep records match per-task execution byte for byte.
+    ``share`` says the cell's graph kind is seed-independent: one graph
+    and one compiled topology then serve every lane.  Seed-dependent
+    cells build one graph per task — exactly the graphs
+    :func:`execute_task` would build — and hand lockstep the per-lane
+    sequence, with each task's round cap derived from its own graph.
+
+    Returns ``None`` when NumPy is missing (the caller then takes the
+    per-task path, whose :func:`_route_engine` downgrade produces the
+    identical records on the reference engine) or — defensively — when
+    a seed-dependent kind yields differing node counts across seeds,
+    which lockstep cannot interleave.  Per-seed adversaries, processes
+    and engine seeds are built exactly as :func:`execute_task` would,
+    so the lockstep records match per-task execution byte for byte.
     """
     from repro.sim.vector_engine import run_lockstep, vector_engine_eligible
 
     tasks = batch.tasks
     rule = CollisionRule[tasks[0].collision_rule]
     # Probe eligibility with the first task's adversary alone — the
-    # gate is type-based, so one instance decides for the whole cell
-    # and an ineligible cell builds no throwaway objects.
+    # table is shared cell-wide, so one instance decides for all and
+    # an ineligible cell (NumPy missing) builds no throwaway objects.
     first_adversary = build_adversary(
         tasks[0].adversary_kind,
         seed=tasks[0].derived_seed,
@@ -274,6 +284,29 @@ def _execute_batch_lockstep(
     )
     if not vector_engine_eligible(rule, first_adversary):
         return None
+    if share:
+        first = tasks[0]
+        shared_graph = build_graph(
+            first.graph_kind,
+            first.n,
+            seed=first.seed,
+            **dict(first.graph_params),
+        )
+        graphs = [shared_graph] * len(tasks)
+        topologies = [compile_topology(shared_graph)] * len(tasks)
+    else:
+        graphs = [
+            build_graph(
+                task.graph_kind,
+                task.n,
+                seed=task.seed,
+                **dict(task.graph_params),
+            )
+            for task in tasks
+        ]
+        if len({graph.n for graph in graphs}) != 1:
+            return None  # lanes cannot interleave across node counts
+        topologies = [compile_topology(graph) for graph in graphs]
     adversaries = [first_adversary] + [
         build_adversary(
             task.adversary_kind,
@@ -282,18 +315,10 @@ def _execute_batch_lockstep(
         )
         for task in tasks[1:]
     ]
-    first = tasks[0]
-    graph = build_graph(
-        first.graph_kind,
-        first.n,
-        seed=first.seed,
-        **dict(first.graph_params),
-    )
-    topology = compile_topology(graph)
     default_cap: Optional[int] = None
     process_lists = []
     configs = []
-    for task in tasks:
+    for task, graph in zip(tasks, graphs):
         process_lists.append(
             make_processes(
                 task.algorithm, graph.n, **dict(task.algorithm_params)
@@ -301,11 +326,16 @@ def _execute_batch_lockstep(
         )
         max_rounds = task.max_rounds
         if max_rounds is None:
-            if default_cap is None:
-                default_cap = suggested_round_limit(
-                    task.algorithm, graph
-                )
-            max_rounds = default_cap
+            if share:
+                if default_cap is None:
+                    default_cap = suggested_round_limit(
+                        task.algorithm, graph
+                    )
+                max_rounds = default_cap
+            else:
+                # Per-task graphs derive per-task caps, matching the
+                # per-task pipeline's derivation from each seed's graph.
+                max_rounds = suggested_round_limit(task.algorithm, graph)
         configs.append(
             EngineConfig(
                 collision_rule=rule,
@@ -324,16 +354,16 @@ def _execute_batch_lockstep(
         hi = lo + _LOCKSTEP_LANES
         traces.extend(
             run_lockstep(
-                graph,
+                graphs[lo:hi],
                 process_lists[lo:hi],
                 adversaries[lo:hi],
                 configs[lo:hi],
-                topology=topology,
+                topology=topologies[lo:hi],
             )
         )
     return [
         _result_from(task, graph, trace, "vector")
-        for task, trace in zip(tasks, traces)
+        for task, graph, trace in zip(tasks, graphs, traces)
     ]
 
 

@@ -18,14 +18,17 @@ rule) cell::
     )
     print(result.best.objective)   # worst stall found, in rounds
 
-Candidates are scored through the standard engines (fast path where the
-genome is mask-eligible), fan out over worker processes, persist as
-JSON lines with resume-by-key, and the best genome replay-certifies
-through :class:`~repro.adversaries.scripted.ReplayAdversary` — see
+Candidates are scored through the standard engines — the fast bitmask
+engine per genome (sandbox backend) or whole populations as
+vector-engine lockstep lanes (``backend="lockstep"``) — fan out over
+worker processes, persist as JSON lines with resume-by-key, and the
+best genome replay-certifies through
+:class:`~repro.adversaries.scripted.ReplayAdversary` — see
 ``docs/SEARCH.md``.
 """
 
 from repro.search.evaluate import (
+    EVALUATOR_BACKENDS,
     CandidateScore,
     EvaluationContext,
     PopulationEvaluator,
@@ -73,6 +76,7 @@ __all__ = [
     "GenomeSpace",
     "GreedyLookaheadSearch",
     "LocalMutationSearch",
+    "EVALUATOR_BACKENDS",
     "PopulationEvaluator",
     "RandomRestartSearch",
     "SearchBudget",

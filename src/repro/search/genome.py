@@ -83,8 +83,8 @@ class StrategyGenome:
             a CR4 collision occurs at ``node`` in ``round``, deliver the
             arrival sent by process ``preferred_uid`` if it is among the
             arrivals, silence otherwise.  Nodes/rounds without a gene
-            resolve to silence (the base-class default, which keeps
-            gene-free genomes eligible for the mask engines).
+            resolve to silence (the base-class default; gene-free
+            genomes never consult a resolver at all).
     """
 
     horizon: int
@@ -174,9 +174,11 @@ class StrategyGenome:
         """The replayable adversary implementing this strategy.
 
         Genomes without CR4 genes build a :class:`GenomeAdversary`
-        (whose ``resolve_cr4`` is the inherited base default, keeping
-        :func:`repro.sim.fast_engine.mask_engine_eligible` true);
-        genomes with CR4 genes build a :class:`GenomeCR4Adversary`.
+        (whose ``resolve_cr4`` is the inherited base default — CR4
+        collisions resolve to silence without ever consulting it);
+        genomes with CR4 genes build a :class:`GenomeCR4Adversary`,
+        whose real resolver the mask engines serve through their
+        consult paths (the eligibility table is all-yes either way).
         """
         if self.cr4:
             return GenomeCR4Adversary(self)
@@ -188,8 +190,8 @@ class GenomeAdversary(ScriptedDeliveries):
 
     Deliveries and the proc assignment are exactly
     :class:`~repro.adversaries.scripted.ScriptedDeliveries` semantics;
-    CR4 collisions resolve to silence (base default), so instances are
-    mask-engine eligible.
+    CR4 collisions resolve to silence (base default), so the mask
+    engines never build arrival lists for instances of this class.
     """
 
     def __init__(self, genome: StrategyGenome) -> None:
@@ -240,8 +242,10 @@ class GenomeSpace:
             identity-placement lever behind Theorem 2).  When false, all
             genomes keep ``proc=None``.
         cr4_genes: Whether genomes carry CR4 resolution genes.  Only
-            useful under CR4 — and it routes evaluation onto the
-            reference engine, so leave it off elsewhere.
+            useful under CR4 (no other rule ever consults the
+            resolver); the mask engines score gene-carrying genomes
+            through their CR4 consult paths, so the genes cost extra
+            work only on rounds that actually collide.
         delivery_rate: Probability that a (round, sender) slot of a
             *random* genome carries any deliveries.
     """

@@ -89,6 +89,7 @@ def run_search(
     progress: Optional[ProgressCallback] = None,
     store: Optional[str] = None,
     flush_every: Optional[int] = None,
+    evaluator: str = "sandbox",
 ) -> SearchResult:
     """Run one adversary search and return its best candidate.
 
@@ -100,7 +101,8 @@ def run_search(
         seed: Search seed driving candidate generation (the engine seed
             is derived from the cell, independently — two searches with
             different seeds explore differently but score identically).
-        workers: Parallel evaluation processes.
+        workers: Parallel evaluation processes (sandbox backend only;
+            the lockstep backend scores batches in-process).
         results_path: Optional results location — a JSON-lines file or
             a campaign directory; previously persisted candidates are
             resumed by key instead of re-evaluated, and fresh scores
@@ -114,6 +116,12 @@ def run_search(
             path.
         flush_every: Explicit store flush policy (``None``: backend
             default).
+        evaluator: Population-scoring backend —
+            ``"sandbox"`` (per-genome runs, default) or ``"lockstep"``
+            (whole batches as vector-engine lanes; see
+            :class:`~repro.search.evaluate.PopulationEvaluator`).
+            Scores are identical either way, so a results file written
+            under one backend resumes under the other.
     """
     started = time.perf_counter()
     space = make_space(settings)
@@ -146,8 +154,8 @@ def run_search(
     # and the final replay certification (pool workers, when used,
     # build their own context once each in the pool initializer).
     context = EvaluationContext(settings, graph=space.graph)
-    evaluator = PopulationEvaluator(
-        settings, workers=workers, context=context
+    evaluator_obj = PopulationEvaluator(
+        settings, workers=workers, context=context, backend=evaluator
     )
     try:
         while ordinal < budget.evaluations:
@@ -176,7 +184,7 @@ def run_search(
                     resumed += 1
                 else:
                     fresh_idx.append(i)
-            fresh_scores = evaluator.evaluate(
+            fresh_scores = evaluator_obj.evaluate(
                 [genomes[i] for i in fresh_idx]
             )
             for i, score in zip(fresh_idx, fresh_scores):
@@ -198,7 +206,7 @@ def run_search(
             if progress is not None and best is not None:
                 progress(best, ordinal, budget.evaluations)
     finally:
-        evaluator.close()
+        evaluator_obj.close()
         if result_store is not None:
             result_store.close()
 

@@ -39,29 +39,59 @@ The matrix algebra per round, for the live lanes (seeds still running):
   positions needing a Python-level delivery — collision/silence at
   non-observer processes is skipped entirely, in C, across all seeds.
 
-Like the fast engine, two places intentionally stay on the reference
-path: CR4 consultation of a real adversary resolver (arrival lists are
-rebuilt in reference order) and payload-identity custody.  The engines
-are interchangeable: :func:`repro.sim.engine.build_engine` dispatches
-``engine="vector"`` to :class:`VectorBroadcastEngine` (a single-lane
-lockstep), and the experiments layer runs eligible cells through
-:func:`run_lockstep` (``benchmarks/bench_vector_engine.py`` measures
-the seeds-throughput win; ``tests/test_engine_fuzz.py`` and
-``tests/test_vector_engine.py`` enforce trace equality).
+CR4 consultation of a real adversary resolver is **batched**: all
+consult positions of a round are collected from the int8 category
+matrix at once and resolved lane by lane in ascending node order —
+exactly the reference engine's consult order — *before* any delivery
+runs.  Hoisting the consults ahead of delivery is safe because an
+:class:`~repro.adversaries.base.AdversaryView` is an immutable snapshot
+of the pre-delivery round state (frozen sender/informed/active sets):
+deliveries cannot change what a consult observes, so only the per-lane
+ordering matters, and ``np.nonzero``'s row-major output preserves it.
+Payload-identity custody is the one remaining per-message reference
+path.
+
+Lanes may run **per-lane graphs**: :func:`run_lockstep` accepts one
+shared network (one reach matrix, two BLAS matmuls per round) or a
+sequence of per-lane networks over the same node count — the form
+seed-dependent graph kinds (``gnp``, ``gray-zone``) need, where each
+seed's lane carries its own compiled topology and the arrival algebra
+runs per lane against that lane's reach rows.
+
+The reach matrix itself has a dense and a ``scipy.sparse`` CSR form
+(:meth:`repro.sim.fast_engine.CompiledTopology.reach_matrix`); the
+engine auto-selects CSR for large graphs when SciPy is importable
+(``sparse_reach`` overrides), keeping the per-round cost proportional
+to the edges present instead of n².
+
+The engines are interchangeable:
+:func:`repro.sim.engine.build_engine` dispatches ``engine="vector"`` to
+:class:`VectorBroadcastEngine` (a single-lane lockstep), and the
+experiments layer runs vector cells through :func:`run_lockstep`
+(``benchmarks/bench_vector_engine.py`` measures the seeds-throughput
+win; ``tests/test_engine_fuzz.py`` and ``tests/test_vector_engine.py``
+enforce trace equality).
 
 NumPy is an optional dependency of this module alone: importing it
 without NumPy works, :func:`vector_engine_eligible` then reports
-``False`` and constructing the engine raises a clear error.
+``False`` and constructing the engine raises a clear error.  SciPy is
+optional one level further — without it the dense reach matrix is
+simply always used.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 try:  # pragma: no cover - exercised implicitly on numpy-less installs
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
+
+try:  # pragma: no cover - exercised implicitly on scipy-less installs
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover
+    _sp = None
 
 from repro.adversaries.base import Adversary, AdversaryView
 from repro.graphs.dualgraph import DualGraph
@@ -89,6 +119,37 @@ def have_numpy() -> bool:
     return _np is not None
 
 
+def have_scipy() -> bool:
+    """Whether ``scipy.sparse`` is importable (sparse reach matrices)."""
+    return _sp is not None
+
+
+#: Auto-select the CSR reach matrix at or above this node count when
+#: SciPy is importable: below it the dense matmul's BLAS throughput
+#: wins, above it the dense matrix's O(n²) memory and per-round work
+#: dominate (n=10⁴ dense float32 is already 400 MB).
+_SPARSE_REACH_MIN_N = 2048
+
+
+def _select_reach(topology: CompiledTopology, sparse: Optional[bool]):
+    """The reach matrix a lane should run on: dense or CSR.
+
+    ``sparse=None`` auto-selects (CSR iff SciPy is importable and the
+    graph has at least :data:`_SPARSE_REACH_MIN_N` nodes); explicit
+    ``True``/``False`` forces the form, raising when CSR is requested
+    without SciPy.  Both forms produce exactly the same arrival counts
+    and sender-index sums, so the choice never affects traces.
+    """
+    if sparse is None:
+        sparse = _sp is not None and len(topology.bit) >= _SPARSE_REACH_MIN_N
+    if sparse and _sp is None:
+        raise RuntimeError(
+            "sparse reach matrices require scipy; install it or pass "
+            "sparse_reach=False"
+        )
+    return topology.reach_matrix(sparse=sparse)
+
+
 #: Reception categories of the per-round classification matrix.  0 is
 #: silence (also the skip default); the rest mark positions the Python
 #: delivery loop must interpret.  Collision is deliberately last: a
@@ -106,10 +167,11 @@ def vector_engine_eligible(
     """Whether the vector engine is the canonical choice for a combination.
 
     Shares the fast engine's eligibility truth table
-    (:func:`repro.sim.fast_engine.mask_engine_eligible`): CR1–CR3 always,
-    CR4 only with the base (always-silence) resolver.  Additionally
-    requires NumPy; without it the gate reports ``False`` so the sweep
-    layer transparently falls back to the reference engine.
+    (:func:`repro.sim.fast_engine.mask_engine_eligible`), which is
+    all-yes — every collision rule and adversary, CR4 real resolvers
+    included (the batched consult path).  The only gate left is NumPy
+    itself: without it this reports ``False`` so the sweep layer
+    transparently falls back to the reference engine.
     """
     return _np is not None and mask_engine_eligible(
         collision_rule, adversary
@@ -127,7 +189,9 @@ class VectorBroadcastEngine(FastBroadcastEngine):
     shared matrix operations.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(
+        self, *args, sparse_reach: Optional[bool] = None, **kwargs
+    ) -> None:
         if _np is None:
             raise RuntimeError(
                 "the vector engine requires numpy; install it or use "
@@ -135,10 +199,10 @@ class VectorBroadcastEngine(FastBroadcastEngine):
             )
         super().__init__(*args, **kwargs)
         n = self.network.n
-        if self._topology is not None:
-            self._np_reach = self._topology.reach_matrix()
-        else:
-            self._np_reach = compile_topology(self.network).reach_matrix()
+        topology = self._topology
+        if topology is None:
+            topology = compile_topology(self.network)
+        self._np_reach = _select_reach(topology, sparse_reach)
         # Boolean row views of the incrementally maintained node sets;
         # _activate keeps the active row current.
         self._active_row = _np.zeros(n, dtype=bool)
@@ -181,10 +245,13 @@ def _decide_lane_senders(
 def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
     """Execute one synchronous round across all (live) lanes.
 
-    Every lane must share the same graph, collision rule, start mode,
-    recording flag and current round number — exactly what
+    Every lane must share the same node count, collision rule, start
+    mode, recording flag and current round number — exactly what
     :func:`run_lockstep` guarantees (a standalone engine is a one-lane
-    call).  Appends one :class:`~repro.sim.trace.RoundRecord` per lane.
+    call).  Graphs may differ per lane: lanes sharing one reach matrix
+    take the two-matmul fast path, per-lane graphs resolve their
+    arrival algebra lane by lane.  Appends one
+    :class:`~repro.sim.trace.RoundRecord` per lane.
     """
     np = _np
     first = lanes[0]
@@ -218,23 +285,44 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
             lane._validated_deliveries(view, lane_senders[i])
         )
 
-    # Phase 3: arrival algebra as two matmuls over the sender columns.
+    # Phase 3: arrival algebra.
     # counts[l, u] = number of messages reaching node u in lane l;
     # wsum[l, u]   = sum of (sender node + 1) over those messages, so at
     # positions with exactly one arrival the sender is wsum - 1.
-    reach = first._np_reach
+    # Lanes sharing one reach matrix (the shared-graph fast path, and
+    # every standalone engine) resolve as two matmuls over the union of
+    # sender columns; per-lane graphs fall back to one small
+    # rows-gather + reduction per sending lane against that lane's own
+    # reach matrix.  Either matrix may be dense or scipy.sparse CSR —
+    # ``np.asarray`` normalises the product back to a plain ndarray.
+    reach0 = first._np_reach
+    homogeneous = all(lane._np_reach is reach0 for lane in lanes)
     if snodes:
-        # float32 keeps the matmuls on BLAS; counts (≤ n) and
-        # sender-index sums (≤ n(n+1)/2) stay far below 2²⁴, so the
-        # arithmetic is exact.
+        # float32 keeps the matmuls on BLAS; counts (≤ n) and the
+        # sender-index sums the algebra reads (single-arrival positions,
+        # ≤ n) stay far below 2²⁴, so the arithmetic is exact.
         snode_arr = np.asarray(snodes)
-        col_arr, col_inv = np.unique(snode_arr, return_inverse=True)
-        sub = np.zeros((n_lanes, col_arr.size), dtype=np.float32)
-        sub[srows, col_inv] = 1.0
-        reach_rows = reach[col_arr]
-        counts = sub @ reach_rows
-        weights = (col_arr + 1).astype(np.float32)
-        wsum = (sub * weights) @ reach_rows
+        if homogeneous:
+            col_arr, col_inv = np.unique(snode_arr, return_inverse=True)
+            sub = np.zeros((n_lanes, col_arr.size), dtype=np.float32)
+            sub[srows, col_inv] = 1.0
+            reach_rows = reach0[col_arr]
+            counts = np.asarray(sub @ reach_rows)
+            weights = (col_arr + 1).astype(np.float32)
+            wsum = np.asarray((sub * weights) @ reach_rows)
+        else:
+            counts = np.zeros((n_lanes, n), dtype=np.float32)
+            wsum = np.zeros((n_lanes, n), dtype=np.float32)
+            for i, senders in enumerate(lane_senders):
+                if not senders:
+                    continue
+                cols = np.fromiter(
+                    senders, dtype=np.int64, count=len(senders)
+                )
+                rows = lanes[i]._np_reach[cols]
+                counts[i] = np.asarray(rows.sum(axis=0)).ravel()
+                weights = (cols + 1).astype(np.float32)
+                wsum[i] = np.asarray(weights[None, :] @ rows).ravel()
     else:
         snode_arr = None
         counts = np.zeros((n_lanes, n), dtype=np.float32)
@@ -272,6 +360,44 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
     cat[counts == 1] = _CAT_UNIQUE
     if snode_arr is not None and rule is not CollisionRule.CR1:
         cat[srows, snode_arr] = _CAT_OWN
+
+    # Phase 3b: batched CR4 consultation.  Every consult position left
+    # in the category matrix (senders were just overridden to hear
+    # themselves) is resolved here, before any delivery — safe because
+    # the adversary view is an immutable snapshot of the pre-delivery
+    # round state, so deliveries cannot change what a consult observes.
+    # ``np.nonzero``'s row-major output visits each lane's positions in
+    # ascending node order, exactly the reference engine's consult
+    # order, so stateful resolvers (e.g. rng-driven ones) see the same
+    # call sequence.  The reference engine consults even when the
+    # chosen outcome ends up undelivered, and so does this phase: the
+    # consult set is independent of the phase-4 visit set.
+    lane_consults: List[Dict[int, Reception]] = [
+        {} for _ in range(n_lanes)
+    ]
+    if rule is CollisionRule.CR4 and cat.any():
+        crows, cnodes = np.nonzero(cat == _CAT_CONSULT)
+        for i, node in zip(crows.tolist(), cnodes.tolist()):
+            lane = lanes[i]
+            senders = lane_senders[i]
+            deliveries = lane_deliveries[i]
+            lreach = lane._np_reach
+            # Rebuild the arrival list in reference order (ascending
+            # sender node; `senders` preserves it by construction).
+            arrivals = [
+                msg
+                for s, msg in senders.items()
+                if lreach[s, node] or node in deliveries.get(s, ())
+            ]
+            adversary = lane.adversary
+            view = lane_views[i]
+
+            def cr4(node, msgs, view=view, adversary=adversary):
+                return adversary.resolve_cr4(view, node, msgs)
+
+            lane_consults[i][node] = resolve_reception(
+                rule, node, False, None, arrivals, cr4_resolver=cr4
+            )
 
     # Phase 4: visit only positions whose delivery can matter.  Active
     # observers get every reception (including silence when unreached);
@@ -328,6 +454,7 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
         activate = lane._activate
         mark_informed = lane._mark_informed
         sender_rec = lane_sender_rec[i]
+        consults = lane_consults[i]
         newly_informed = lane_newly_informed[i]
         newly_active = lane_newly_active[i]
         rec_map = lane_receptions[i]
@@ -349,25 +476,8 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
                     sender_rec[sender] = reception
             elif category == _CAT_COLL:
                 reception = COLLISION
-            else:  # _CAT_CONSULT
-                # CR4 with a real resolver: rebuild the arrival list
-                # in reference order (ascending sender node) and defer
-                # to the shared resolution path.
-                deliveries = lane_deliveries[i]
-                arrivals = [
-                    msg
-                    for s, msg in senders.items()
-                    if reach[s, node] or node in deliveries.get(s, ())
-                ]
-                view = lane_views[i]
-                adversary = lane.adversary
-
-                def cr4(node, msgs, view=view, adversary=adversary):
-                    return adversary.resolve_cr4(view, node, msgs)
-
-                reception = resolve_reception(
-                    rule, node, False, None, arrivals, cr4_resolver=cr4
-                )
+            else:  # _CAT_CONSULT — resolved by the batched phase 3b
+                reception = consults[node]
 
             if rec_map is not None:
                 rec_map[node] = reception
@@ -403,22 +513,35 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
 
 
 def run_lockstep(
-    network: DualGraph,
+    network: Union[DualGraph, Sequence[DualGraph]],
     process_lists: Sequence[Sequence[Process]],
     adversaries: Sequence[Optional[Adversary]],
     configs: Sequence[EngineConfig],
     payload: object = "broadcast-message",
-    topology: Optional[CompiledTopology] = None,
+    topology: Union[
+        CompiledTopology, Sequence[CompiledTopology], None
+    ] = None,
+    sparse_reach: Optional[bool] = None,
 ) -> List[ExecutionTrace]:
     """Run one lane per ``(processes, adversary, config)`` triple in lockstep.
 
-    Every lane executes on the same ``network`` (one compiled topology,
-    shared by all lanes) and must agree on collision rule, start mode
-    and reception recording; seeds, round caps and stop conditions stay
-    per lane.  Each lane's trace is bit-identical to what the reference
-    engine produces for the same inputs — lanes retire individually the
-    moment their own run would stop (broadcast complete or cap hit),
-    exactly mirroring :meth:`~repro.sim.engine.BroadcastEngine.run`.
+    ``network`` is either one shared :class:`DualGraph` (one compiled
+    topology and one reach matrix serve every lane — the cheapest form)
+    or a sequence of per-lane graphs over the same node count, the form
+    seed-dependent graph kinds need (each seed's lane then runs against
+    its own reach rows).  ``topology`` mirrors that shape: one shared
+    :class:`CompiledTopology`, a per-lane sequence, or ``None`` to
+    compile per distinct graph object here.  All lanes must agree on
+    collision rule, start mode and reception recording; seeds, round
+    caps and stop conditions stay per lane.  ``sparse_reach`` picks the
+    reach-matrix form for every lane (``None`` auto-selects — CSR for
+    large graphs when SciPy is importable, see :func:`_select_reach`);
+    the choice never affects traces.
+
+    Each lane's trace is bit-identical to what the reference engine
+    produces for the same inputs — lanes retire individually the moment
+    their own run would stop (broadcast complete or cap hit), exactly
+    mirroring :meth:`~repro.sim.engine.BroadcastEngine.run`.
 
     Returns the traces in input order.
     """
@@ -436,6 +559,21 @@ def run_lockstep(
             "process_lists, adversaries and configs must align "
             f"({len(process_lists)}, {len(adversaries)}, {len(configs)})"
         )
+    n_lanes = len(process_lists)
+    if isinstance(network, DualGraph):
+        networks: List[DualGraph] = [network] * n_lanes
+    else:
+        networks = list(network)
+        if len(networks) != n_lanes:
+            raise ValueError(
+                "per-lane networks must align with process_lists "
+                f"({len(networks)} networks, {n_lanes} lanes)"
+            )
+        if len({graph.n for graph in networks}) != 1:
+            raise ValueError(
+                "lockstep lanes must share a node count; got "
+                f"{sorted({graph.n for graph in networks})}"
+            )
     shared = {
         (c.collision_rule, c.start_mode, c.record_receptions)
         for c in configs
@@ -446,13 +584,34 @@ def run_lockstep(
             "reception recording"
         )
     if topology is None:
-        topology = compile_topology(network)
+        # One compile per distinct graph object: a shared graph pays
+        # once, per-lane graphs pay once each.
+        by_graph: Dict[int, CompiledTopology] = {}
+        topologies = [
+            by_graph.setdefault(id(graph), compile_topology(graph))
+            for graph in networks
+        ]
+    elif isinstance(topology, CompiledTopology):
+        topologies = [topology] * n_lanes
+    else:
+        topologies = list(topology)
+        if len(topologies) != n_lanes:
+            raise ValueError(
+                "per-lane topologies must align with process_lists "
+                f"({len(topologies)} topologies, {n_lanes} lanes)"
+            )
     lanes = [
         VectorBroadcastEngine(
-            network, procs, adv, config, payload, topology=topology
+            net,
+            procs,
+            adv,
+            config,
+            payload,
+            topology=topo,
+            sparse_reach=sparse_reach,
         )
-        for procs, adv, config in zip(
-            process_lists, adversaries, configs
+        for net, topo, procs, adv, config in zip(
+            networks, topologies, process_lists, adversaries, configs
         )
     ]
     for lane in lanes:

@@ -14,7 +14,13 @@ suites pin pointwise:
   with any engine.
 * **Lockstep** — running a whole seed list through one
   :func:`repro.sim.vector_engine.run_lockstep` call equals running each
-  seed alone on the reference engine.
+  seed alone on the reference engine — including mixed-lane
+  populations where every lane carries its own graph (seed-dependent
+  ``gnp`` / ``gray-zone`` builds) and its own adversary.
+
+The adversary pool includes the real CR4 resolvers (greedy, pivot,
+random, search genomes), so the batched consult path of the vector
+engine is fuzzed against the reference consult loop directly.
 
 The suite is marked ``fuzz`` and excluded from tier-1 (see
 ``pyproject.toml``); CI runs it in a dedicated job under the pinned,
@@ -24,6 +30,7 @@ suites, not a soak test.
 """
 
 import os
+import random
 
 import pytest
 
@@ -33,8 +40,9 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.runner import make_processes
-from repro.experiments.registry import build_adversary
+from repro.experiments.registry import build_adversary, build_graph
 from repro.graphs.dualgraph import DualGraph
+from repro.search import GenomeSpace
 from repro.sim import (
     CollisionRule,
     EngineConfig,
@@ -72,18 +80,39 @@ ALGORITHMS = (
     "decay",
     "strong_select",
 )
-ADVERSARIES = ("none", "full", "random", "greedy")
+#: "pivot" and "genome" carry real, stateful CR4 resolvers; the first
+#: four are the classic pool.  Every kind is rebuildable from (kind,
+#: seed, graph, horizon) alone, so reference and lockstep runs get
+#: independent but identically-behaving instances.
+ADVERSARIES = ("none", "full", "random", "greedy", "pivot", "genome")
+
+#: Seed-dependent registry graph kinds — one distinct graph per seed,
+#: exercising the per-lane-topology lockstep path.
+SEEDED_GRAPH_KINDS = ("gnp", "gray-zone")
+
+
+def make_fuzz_adversary(kind, seed, graph, horizon):
+    """A fresh adversary of ``kind``, deterministic in its arguments."""
+    if kind == "genome":
+        space = GenomeSpace(graph, horizon=max(1, horizon),
+                            cr4_genes=True)
+        return space.random(random.Random(seed)).build_adversary()
+    if kind == "pivot":
+        return build_adversary("pivot", seed=seed, n=graph.n)
+    return build_adversary(kind, seed=seed)
 
 
 @st.composite
-def dual_graphs(draw):
+def dual_graphs(draw, n=None):
     """A small random dual graph, always source-connected.
 
     Node ``v >= 1`` gets a random parent in ``[0, v)`` — those tree
     edges are reliable, so every node is reachable from source 0 — and
     random extra pairs join ``G`` (reliable) or ``G' \\ G`` (unreliable).
+    Pass ``n`` to fix the node count (lockstep lanes must share one).
     """
-    n = draw(st.integers(min_value=2, max_value=8))
+    if n is None:
+        n = draw(st.integers(min_value=2, max_value=8))
     tree = [
         (draw(st.integers(min_value=0, max_value=v - 1)), v)
         for v in range(1, n)
@@ -107,7 +136,7 @@ def dual_graphs(draw):
 def run_one(engine, graph, algorithm, adversary_kind, rule, start_mode,
             seed, max_rounds, record):
     processes = make_processes(algorithm, graph.n)
-    adversary = build_adversary(adversary_kind, seed=seed)
+    adversary = make_fuzz_adversary(adversary_kind, seed, graph, max_rounds)
     config = EngineConfig(
         collision_rule=rule,
         start_mode=start_mode,
@@ -165,8 +194,8 @@ def test_lockstep_equals_per_seed_reference(
     graph, algorithm, adversary_kind, rule, seeds, max_rounds
 ):
     """A whole seed list in one lockstep call matches per-seed runs —
-    including CR4 with real resolvers (the consult fallback), which the
-    sweep layer routes away but the engine must still get right."""
+    including CR4 with real resolvers (greedy, pivot, genome), which the
+    vector engine now serves via batched per-round consultations."""
     configs = [
         EngineConfig(collision_rule=rule, max_rounds=max_rounds, seed=s)
         for s in seeds
@@ -174,7 +203,8 @@ def test_lockstep_equals_per_seed_reference(
     traces = run_lockstep(
         graph,
         [make_processes(algorithm, graph.n) for _ in seeds],
-        [build_adversary(adversary_kind, seed=s) for s in seeds],
+        [make_fuzz_adversary(adversary_kind, s, graph, max_rounds)
+         for s in seeds],
         configs,
     )
     for seed, trace in zip(seeds, traces):
@@ -183,6 +213,63 @@ def test_lockstep_equals_per_seed_reference(
             StartMode.ASYNCHRONOUS, seed, max_rounds, record=False,
         )
         assert trace_to_json(trace) == trace_to_json(ref), seed
+
+
+@st.composite
+def mixed_lanes(draw):
+    """Lockstep lanes sharing a node count but nothing else: each lane
+    draws its own graph (random fuzz tree or a seed-dependent registry
+    kind) and its own adversary kind."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    n_lanes = draw(st.integers(min_value=1, max_value=4))
+    lanes = []
+    for _ in range(n_lanes):
+        seed = draw(st.integers(min_value=0, max_value=2**16))
+        source = draw(
+            st.sampled_from(("fuzz",) + SEEDED_GRAPH_KINDS)
+        )
+        if source == "fuzz":
+            graph = draw(dual_graphs(n=n))
+        else:
+            graph = build_graph(source, n, seed=seed)
+        adversary_kind = draw(st.sampled_from(ADVERSARIES))
+        lanes.append((graph, adversary_kind, seed))
+    return lanes
+
+
+@given(
+    lanes=mixed_lanes(),
+    algorithm=st.sampled_from(ALGORITHMS),
+    rule=st.sampled_from(list(CollisionRule)),
+    max_rounds=st.integers(min_value=0, max_value=30),
+)
+def test_mixed_lane_lockstep_equals_per_seed_reference(
+    lanes, algorithm, rule, max_rounds
+):
+    """Heterogeneous lockstep — per-lane graphs AND per-lane
+    adversaries in one call — matches per-seed reference runs byte for
+    byte.  This is the population shape the search evaluator and the
+    seed-dependent sweep cells feed the vector engine."""
+    n = lanes[0][0].n
+    configs = [
+        EngineConfig(collision_rule=rule, max_rounds=max_rounds, seed=s)
+        for _, _, s in lanes
+    ]
+    traces = run_lockstep(
+        [graph for graph, _, _ in lanes],
+        [make_processes(algorithm, n) for _ in lanes],
+        [make_fuzz_adversary(kind, s, graph, max_rounds)
+         for graph, kind, s in lanes],
+        configs,
+    )
+    for (graph, kind, seed), config, trace in zip(lanes, configs, traces):
+        ref = build_engine(
+            graph,
+            make_processes(algorithm, n),
+            make_fuzz_adversary(kind, seed, graph, max_rounds),
+            config,
+        ).run()
+        assert trace_to_json(trace) == trace_to_json(ref), (kind, seed)
 
 
 @given(

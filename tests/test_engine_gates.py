@@ -1,11 +1,17 @@
 """Eligibility gates and engine edge cases, fast and vector alike.
 
 One truth table (:func:`repro.sim.fast_engine.mask_engine_eligible`)
-decides when a mask engine is the canonical choice; both public gates
-must agree with it, and the sweep layer's transparent downgrade must
-follow it.  The edge cases — single-seed cells, n=1 graphs, zero-round
-caps — are the places a lockstep implementation is most likely to drift
-from the reference run loop, so they are pinned here for every engine.
+decides when a mask engine is the canonical choice.  The table is now
+**all-yes** — every (collision rule, adversary) combination, CR4 real
+resolvers included, runs on the requested mask engine; the only
+downgrade left is a vector request without NumPy.  Both public gates
+must agree with the table, and the sweep layer's routing must follow
+it: every (engine, CR, adversary-resolver, graph-kind) row is pinned
+here, including the seed-dependent graph kinds that now run the vector
+cell's lanes on per-lane graphs instead of falling back per seed.  The
+edge cases — single-seed cells, n=1 graphs, zero-round caps — are the
+places a lockstep implementation is most likely to drift from the
+reference run loop, so they are pinned here for every engine.
 """
 
 import pytest
@@ -57,15 +63,16 @@ class TestSharedTruthTable:
             assert vector_engine_eligible(rule, adv) == have_numpy()
 
     @pytest.mark.parametrize("make_adv,real_resolver", ADVERSARY_CASES)
-    def test_cr4_eligible_iff_default_resolver(
-        self, make_adv, real_resolver
-    ):
+    def test_cr4_always_eligible(self, make_adv, real_resolver):
+        """CR4 is no longer special: real resolvers (greedy, pivot,
+        random, genome) run on the mask engines too — the fast engine
+        consults them inline and the vector engine batches the
+        consultations per round."""
         adv = make_adv()
-        expected = not real_resolver
-        assert mask_engine_eligible(CollisionRule.CR4, adv) == expected
-        assert fast_engine_eligible(CollisionRule.CR4, adv) == expected
+        assert mask_engine_eligible(CollisionRule.CR4, adv)
+        assert fast_engine_eligible(CollisionRule.CR4, adv)
         assert vector_engine_eligible(CollisionRule.CR4, adv) == (
-            expected and have_numpy()
+            have_numpy()
         )
 
     def test_gates_are_thin_wrappers(self):
@@ -81,11 +88,14 @@ class TestSharedTruthTable:
 
 
 def _one_cell_spec(engine, seeds, collision_rule="CR4",
-                   adversary="none", n=8, max_rounds=None):
+                   adversary="none", n=8, max_rounds=None,
+                   graph_kind="line"):
+    if adversary == "pivot":  # PivotAdversary needs its n threaded
+        adversary = ("pivot", {"n": n})
     return ExperimentSpec(
         name="gates",
         algorithms=["round_robin"],
-        graphs=[("line", n)],
+        graphs=[(graph_kind, n)],
         adversaries=[adversary],
         collision_rules=[collision_rule],
         engines=[engine],
@@ -119,33 +129,76 @@ def test_repro_sim_does_not_eagerly_import_numpy():
     assert result.returncode == 0, result.stderr
 
 
+#: (adversary kind, graph kind) rows for the routing table below.
+#: "pivot" carries a real CR4 resolver AND internal round state; "gnp"
+#: and "gray-zone" are the seed-dependent graph kinds that used to
+#: force the vector cell back to per-seed execution.
+ROUTING_ROWS = [
+    ("none", "line"),
+    ("greedy", "line"),
+    ("pivot", "pivot-layers"),
+    ("none", "gnp"),
+    ("greedy", "gnp"),
+    ("greedy", "gray-zone"),
+]
+
+
 class TestSweepRouting:
     @pytest.mark.parametrize("engine", ENGINES[1:])
-    def test_cr4_default_resolver_stays_on_mask_engine(self, engine):
-        task = _one_cell_spec(engine, [0], adversary="none").tasks()[0]
-        assert execute_task(task).engine == engine
-
-    @pytest.mark.parametrize("engine", ENGINES[1:])
-    def test_cr4_real_adversary_falls_back(self, engine):
-        task = _one_cell_spec(engine, [0], adversary="greedy").tasks()[0]
+    @pytest.mark.parametrize("adversary,graph_kind", ROUTING_ROWS)
+    def test_cr4_stays_on_requested_engine(
+        self, engine, adversary, graph_kind
+    ):
+        """Every (engine, adversary-resolver, graph-kind) row runs on
+        the requested mask engine and reproduces the reference
+        science — no silent downgrade left in the table."""
+        task = _one_cell_spec(
+            engine, [0], adversary=adversary, graph_kind=graph_kind
+        ).tasks()[0]
         record = execute_task(task)
-        assert record.engine == "reference"
-        # Transparent: the science matches the reference record.
+        assert record.engine == engine
         ref = execute_task(
-            _one_cell_spec("reference", [0], adversary="greedy").tasks()[0]
+            _one_cell_spec(
+                "reference", [0], adversary=adversary,
+                graph_kind=graph_kind,
+            ).tasks()[0]
         )
         assert record.completion_round == ref.completion_round
         assert record.total_transmissions == ref.total_transmissions
 
     @pytest.mark.parametrize("engine", ENGINES[1:])
-    def test_cr4_real_adversary_batch_falls_back(self, engine):
-        """The batched path takes the same downgrade as the per-task
-        path — including the vector cell's lockstep gate."""
-        spec = _one_cell_spec(engine, range(3), adversary="greedy")
+    @pytest.mark.parametrize("adversary,graph_kind", ROUTING_ROWS)
+    def test_cr4_batch_stays_on_requested_engine(
+        self, engine, adversary, graph_kind
+    ):
+        """The batched path records the same engine and the same
+        science as the per-task path — including vector cells whose
+        lanes consult real CR4 resolvers or carry per-seed graphs."""
+        spec = _one_cell_spec(
+            engine, range(3), adversary=adversary, graph_kind=graph_kind
+        )
         (batch,) = plan_batches(spec.tasks())
         records = execute_batch(batch)
-        assert [r.engine for r in records] == ["reference"] * 3
+        assert [r.engine for r in records] == [engine] * 3
         assert records == [execute_task(t) for t in batch.tasks]
+
+    @pytest.mark.parametrize("rule", ["CR1", "CR2", "CR3", "CR4"])
+    def test_vector_without_numpy_is_the_only_downgrade(
+        self, rule, monkeypatch
+    ):
+        """When NumPy is unavailable the vector request downgrades to
+        the reference engine for every collision rule — the one row of
+        the table that is environment-, not semantics-, driven."""
+        import repro.sim.vector_engine as vector_mod
+
+        monkeypatch.setattr(
+            vector_mod, "vector_engine_eligible", lambda *a: False
+        )
+        task = _one_cell_spec(
+            "vector", [0], collision_rule=rule, adversary="greedy"
+        ).tasks()[0]
+        record = execute_task(task)
+        assert record.engine == "reference"
 
 
 class TestEdgeCases:

@@ -228,13 +228,14 @@ def test_build_engine_dispatch(tiny_line):
 
 
 def test_fast_engine_eligibility():
+    """The table is all-yes: CR4 real resolvers take the consult path
+    instead of downgrading (tests/test_engine_gates.py pins every row)."""
     for rule in MASK_RULES:
         assert fast_engine_eligible(rule, GreedyInterferer())
-    # CR4 needs the base (always-silence) resolver.
     assert fast_engine_eligible(CollisionRule.CR4, NoDeliveryAdversary())
     assert fast_engine_eligible(CollisionRule.CR4, None)
-    assert not fast_engine_eligible(CollisionRule.CR4, GreedyInterferer())
-    assert not fast_engine_eligible(
+    assert fast_engine_eligible(CollisionRule.CR4, GreedyInterferer())
+    assert fast_engine_eligible(
         CollisionRule.CR4, RandomDeliveryAdversary(0.5)
     )
 
@@ -295,8 +296,10 @@ def test_sweep_records_are_engine_neutral():
 
 @pytest.mark.parametrize("engine", ENGINES[1:])
 def test_execute_task_transparent_fallback(engine):
-    """A mask-engine task ineligible under CR4 records the reference
-    engine; eligible combinations record the requested engine."""
+    """Every CR/adversary combination — CR4 with a real resolver
+    included — now records the requested mask engine; the science
+    still matches the reference record (the consult paths are
+    trace-equivalent)."""
     spec = ExperimentSpec(
         name="fallback",
         algorithms=["round_robin"],
@@ -308,7 +311,21 @@ def test_execute_task_transparent_fallback(engine):
     )
     cr3_task, cr4_task = spec.tasks()
     assert execute_task(cr3_task).engine == engine
-    assert execute_task(cr4_task).engine == "reference"
+    cr4_record = execute_task(cr4_task)
+    assert cr4_record.engine == engine
+    ref = execute_task(
+        ExperimentSpec(
+            name="fallback",
+            algorithms=["round_robin"],
+            graphs=[("line", 8)],
+            adversaries=["greedy"],
+            collision_rules=["CR4"],
+            engines=["reference"],
+            seeds=[0],
+        ).tasks()[0]
+    )
+    assert cr4_record.completion_round == ref.completion_round
+    assert cr4_record.total_transmissions == ref.total_transmissions
 
 
 def test_differential_bulk_cross_product():

@@ -97,7 +97,10 @@ class TestEvaluation:
         assert auto.objective == ref.objective
         assert auto.completion_round == ref.completion_round
 
-    def test_cr4_genes_route_to_reference(self):
+    def test_cr4_genes_stay_on_fast_engine(self):
+        """CR4 genomes with resolution genes score on the fast engine
+        (its consult path serves the real resolver) and agree with an
+        explicit reference-engine evaluation."""
         cr4_cell = SearchSettings(
             algorithm="round_robin",
             graph_kind="clique-bridge",
@@ -106,11 +109,21 @@ class TestEvaluation:
         )
         ctx = EvaluationContext(cr4_cell)
         plain = ctx.evaluate(StrategyGenome(horizon=4))
-        genes = ctx.evaluate(
-            StrategyGenome(horizon=4, cr4=((1, 0, 1),))
-        )
+        genome = StrategyGenome(horizon=4, cr4=((1, 0, 1),))
+        genes = ctx.evaluate(genome)
         assert plain.engine == "fast"
-        assert genes.engine == "reference"
+        assert genes.engine == "fast"
+        ref = EvaluationContext(
+            SearchSettings(
+                algorithm="round_robin",
+                graph_kind="clique-bridge",
+                n=10,
+                collision_rule="CR4",
+                engine="reference",
+            )
+        ).evaluate(genome)
+        assert genes.objective == ref.objective
+        assert genes.completion_round == ref.completion_round
 
     def test_parallel_matches_serial(self):
         space = make_space(CELL)

@@ -69,9 +69,10 @@ class TestStrategyGenome:
         ).build_adversary()
         assert type(plain) is GenomeAdversary
         assert type(genes) is GenomeCR4Adversary
-        # The gene-free adversary keeps the mask engines eligible.
+        # Both stay mask-engine eligible: the gene-free adversary takes
+        # the silence shortcut, the gene-bearing one the consult path.
         assert fast_engine_eligible(CollisionRule.CR4, plain)
-        assert not fast_engine_eligible(CollisionRule.CR4, genes)
+        assert fast_engine_eligible(CollisionRule.CR4, genes)
 
 
 class TestGenomeCR4Adversary:

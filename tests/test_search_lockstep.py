@@ -1,0 +1,227 @@
+"""Lockstep evaluator backend: parity with the sandbox, resume included.
+
+The search evaluator grew a second backend — whole populations scored
+as vector-engine lockstep lanes instead of one sandboxed run per
+genome.  The engines are trace-equivalent, so the backends must be
+score-identical; these tests pin that objective for objective
+(CR4 resolution genes included), show run_search results and
+resume-by-key stores interchange freely across backends, and push the
+forged-fingerprint distrust checks through the new path.
+"""
+
+import json
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.search import (
+    EVALUATOR_BACKENDS,
+    CandidateRecord,
+    PopulationEvaluator,
+    SearchBudget,
+    SearchSettings,
+    load_candidates,
+    make_space,
+    run_search,
+)
+from repro.search.persist import candidate_key
+
+CELL = SearchSettings(
+    algorithm="round_robin", graph_kind="clique-bridge", n=10
+)
+CR4_CELL = SearchSettings(
+    algorithm="round_robin",
+    graph_kind="clique-bridge",
+    n=10,
+    collision_rule="CR4",
+)
+
+
+def budget(n=8):
+    return SearchBudget(evaluations=n, batch_size=4)
+
+
+class TestBackendParity:
+    def test_backends_registered(self):
+        assert EVALUATOR_BACKENDS == ("sandbox", "lockstep")
+
+    @pytest.mark.parametrize("cell", [CELL, CR4_CELL],
+                             ids=["CR1", "CR4-genes"])
+    def test_lockstep_matches_sandbox_objective_for_objective(self, cell):
+        """Only the recorded engine label may differ between backends;
+        under CR4 the genomes carry real resolution genes, so this
+        exercises the batched consult path end to end."""
+        space = make_space(cell)
+        rng = random.Random(7)
+        genomes = [space.random(rng) for _ in range(9)]
+        with PopulationEvaluator(cell, backend="lockstep") as lock:
+            lockstep = lock.evaluate(genomes)
+        with PopulationEvaluator(cell) as sandbox:
+            serial = sandbox.evaluate(genomes)
+        assert len(lockstep) == len(serial) == 9
+        for a, b in zip(lockstep, serial):
+            assert a.engine == "vector"
+            assert b.engine == "fast"
+            assert a.genome == b.genome
+            assert (a.objective, a.completed, a.completion_round,
+                    a.rounds) == (
+                b.objective, b.completed, b.completion_round, b.rounds
+            )
+
+    def test_run_search_agrees_across_backends(self):
+        sandbox = run_search(
+            CELL, searcher="random", budget=budget(), seed=1
+        )
+        lockstep = run_search(
+            CELL, searcher="random", budget=budget(), seed=1,
+            evaluator="lockstep",
+        )
+        assert lockstep.best.genome == sandbox.best.genome
+        assert lockstep.best.objective == sandbox.best.objective
+        assert lockstep.best_ordinal == sandbox.best_ordinal
+
+
+class TestResumeAcrossBackends:
+    def test_sandbox_store_resumes_under_lockstep(self, tmp_path):
+        """A finished sandbox search replays as a pure resume on the
+        lockstep evaluator — the CI smoke's "0 run, N resumed" grep."""
+        path = str(tmp_path / "search.jsonl")
+        first = run_search(
+            CELL, searcher="local", budget=budget(), seed=3,
+            results_path=path,
+        )
+        assert (first.executed, first.resumed) == (8, 0)
+        again = run_search(
+            CELL, searcher="local", budget=budget(), seed=3,
+            results_path=path, evaluator="lockstep",
+        )
+        assert (again.executed, again.resumed) == (0, 8)
+        assert again.best == first.best
+
+    def test_lockstep_store_resumes_under_sandbox(self, tmp_path):
+        path = str(tmp_path / "search.jsonl")
+        first = run_search(
+            CR4_CELL, searcher="local", budget=budget(), seed=3,
+            results_path=path, evaluator="lockstep",
+        )
+        assert (first.executed, first.resumed) == (8, 0)
+        again = run_search(
+            CR4_CELL, searcher="local", budget=budget(), seed=3,
+            results_path=path,
+        )
+        assert (again.executed, again.resumed) == (0, 8)
+        assert again.best == first.best
+
+    def test_partial_resume_extends_under_lockstep(self, tmp_path):
+        path = str(tmp_path / "search.jsonl")
+        run_search(
+            CELL, searcher="local", budget=budget(4), seed=3,
+            results_path=path,
+        )
+        full = run_search(
+            CELL, searcher="local", budget=budget(8), seed=3,
+            results_path=path, evaluator="lockstep",
+        )
+        assert (full.executed, full.resumed) == (4, 4)
+        fresh = run_search(
+            CELL, searcher="local", budget=budget(8), seed=3
+        )
+        # The stored engine label says which backend scored a record
+        # ("vector" for lockstep-executed candidates); the science is
+        # backend-independent.
+        assert full.best.genome == fresh.best.genome
+        assert full.best.objective == fresh.best.objective
+        assert full.best.completion_round == fresh.best.completion_round
+        assert full.best_ordinal == fresh.best_ordinal
+
+    def test_lockstep_resume_distrusts_wrong_genome_for_key(
+        self, tmp_path
+    ):
+        """The regenerated-genome check re-evaluates a key whose stored
+        genome belongs to a different candidate — through the lockstep
+        backend just as through the sandbox."""
+        path = str(tmp_path / "search.jsonl")
+        run_search(
+            CELL, searcher="random", budget=budget(4), seed=5,
+            results_path=path,
+        )
+        records = load_candidates(path)
+        key0 = candidate_key(CELL, "random", 5, 0)
+        key1 = candidate_key(CELL, "random", 5, 1)
+        wrong = CandidateRecord(
+            key=key0,
+            ordinal=0,
+            searcher="random",
+            fingerprint=records[key1].genome.fingerprint,
+            genome=records[key1].genome,
+            objective=10_000,
+            completed=False,
+            completion_round=None,
+            rounds=0,
+            engine="vector",
+        )
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(wrong.to_dict(), sort_keys=True) + "\n")
+        resumed = run_search(
+            CELL, searcher="random", budget=budget(4), seed=5,
+            results_path=path, evaluator="lockstep",
+        )
+        assert resumed.executed == 1
+        assert resumed.health.rejected_records == 0
+        assert resumed.best.objective < 10_000
+
+    def test_lockstep_resume_rejects_forged_fingerprint(self, tmp_path):
+        path = str(tmp_path / "search.jsonl")
+        run_search(
+            CELL, searcher="random", budget=budget(4), seed=5,
+            results_path=path,
+        )
+        records = load_candidates(path)
+        key = candidate_key(CELL, "random", 5, 0)
+        forged = CandidateRecord(
+            key=key,
+            ordinal=0,
+            searcher="random",
+            fingerprint="deadbeef",
+            genome=records[key].genome,
+            objective=10_000,
+            completed=False,
+            completion_round=None,
+            rounds=0,
+            engine="vector",
+        )
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(forged.to_dict(), sort_keys=True) + "\n")
+        resumed = run_search(
+            CELL, searcher="random", budget=budget(4), seed=5,
+            results_path=path, evaluator="lockstep",
+        )
+        assert resumed.executed == 0
+        assert resumed.resumed == 4
+        assert resumed.health.rejected_records == 1
+        assert resumed.best.objective < 10_000
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown evaluator backend"):
+            PopulationEvaluator(CELL, backend="warp")
+
+    def test_reference_engine_conflicts_with_lockstep(self):
+        ref_cell = SearchSettings(
+            algorithm="round_robin",
+            graph_kind="clique-bridge",
+            n=10,
+            engine="reference",
+        )
+        with pytest.raises(ValueError, match="lockstep"):
+            PopulationEvaluator(ref_cell, backend="lockstep")
+
+    def test_lockstep_requires_numpy(self, monkeypatch):
+        import repro.sim.vector_engine as vector_mod
+
+        monkeypatch.setattr(vector_mod, "have_numpy", lambda: False)
+        with pytest.raises(ValueError, match="requires numpy"):
+            PopulationEvaluator(CELL, backend="lockstep")

@@ -225,28 +225,93 @@ class TestSweepIntegration:
         assert files["lockstep-serial"] == files["lockstep-pool"]
         assert files["lockstep-serial"] == files["pertask"]
 
-    def test_seed_dependent_graph_cell_stays_per_seed(self):
-        """gnp cells cannot share one graph, so the vector cell runs
-        per seed — still on the vector engine, same records as the
-        reference engine's science."""
+    def test_seed_dependent_graph_cell_runs_lockstep(self):
+        """gnp cells build one graph per lane and still run the whole
+        seed list through lockstep — byte-identical records to per-task
+        vector dispatch, same science as the reference engine."""
         spec = vector_spec(
             graphs=[{"kind": "gnp", "n": 12,
                      "params": {"p_reliable": 0.4}}],
             collision_rules=["CR3"],
         )
-        records = SweepRunner(spec).run().records
+        records = sorted(
+            SweepRunner(spec).run().records, key=lambda r: r.key
+        )
         assert all(r.engine == "vector" for r in records)
-        ref_records = SweepRunner(
-            vector_spec(
-                graphs=[{"kind": "gnp", "n": 12,
-                         "params": {"p_reliable": 0.4}}],
-                collision_rules=["CR3"],
-                engines=["reference"],
-            )
-        ).run().records
+        per_task = sorted(
+            SweepRunner(spec, batch=False).run().records,
+            key=lambda r: r.key,
+        )
+        assert records == per_task
+        ref_records = sorted(
+            SweepRunner(
+                vector_spec(
+                    graphs=[{"kind": "gnp", "n": 12,
+                             "params": {"p_reliable": 0.4}}],
+                    collision_rules=["CR3"],
+                    engines=["reference"],
+                )
+            ).run().records,
+            key=lambda r: r.key,
+        )
         for rec, ref in zip(records, ref_records):
             assert rec.completion_round == ref.completion_round
             assert rec.total_transmissions == ref.total_transmissions
+
+    def test_per_lane_networks_match_per_seed_runs(self):
+        """run_lockstep with one graph per lane equals running each
+        (graph, seed) pair alone on the reference engine — CR4 with the
+        greedy adversary's real resolver included."""
+        from repro.experiments.registry import build_graph
+
+        seeds = list(range(6))
+        graphs = [
+            build_graph("gnp", 11, seed=s, p_reliable=0.45)
+            for s in seeds
+        ]
+        cap = 40
+        traces = run_lockstep(
+            graphs,
+            [make_processes("harmonic", g.n) for g in graphs],
+            [build_adversary("greedy", seed=s) for s in seeds],
+            [
+                EngineConfig(
+                    collision_rule=CollisionRule.CR4,
+                    max_rounds=cap,
+                    seed=s,
+                )
+                for s in seeds
+            ],
+        )
+        for seed, graph, trace in zip(seeds, graphs, traces):
+            ref = broadcast(
+                build_graph("gnp", 11, seed=seed, p_reliable=0.45),
+                "harmonic",
+                adversary=build_adversary("greedy", seed=seed),
+                seed=seed,
+                engine="reference",
+                collision_rule=CollisionRule.CR4,
+                max_rounds=cap,
+            )
+            assert trace_to_json(trace) == trace_to_json(ref), seed
+
+    def test_per_lane_network_validation(self):
+        procs = [
+            make_processes("round_robin", 9),
+            make_processes("round_robin", 9),
+        ]
+        cfgs = [EngineConfig(max_rounds=5)] * 2
+        with pytest.raises(ValueError, match="must align"):
+            run_lockstep(
+                [corpus_graph("line", 9)], procs, [None, None], cfgs
+            )
+        with pytest.raises(ValueError, match="node count"):
+            run_lockstep(
+                [corpus_graph("line", 9), corpus_graph("line", 5)],
+                procs,
+                [None, None],
+                cfgs,
+            )
 
     def test_resume_file_written_by_other_engines(self, tmp_path):
         """`--engine vector` appends cleanly to a results file written
@@ -325,3 +390,114 @@ class TestCli:
         assert "3 run, 0 resumed" in capsys.readouterr().out
         assert main(args) == 0
         assert "0 run, 3 resumed" in capsys.readouterr().out
+
+
+class TestSparseReach:
+    """scipy CSR reach matrices: exact equals of the dense form."""
+
+    CORPUS = [
+        ("line", 9), ("ring", 12), ("grid", 16), ("hard-line", 8),
+        ("clique-bridge", 17), ("layered-pairs", 13), ("gnp", 14),
+        ("gray-zone", 14),
+    ]
+
+    def test_sparse_equals_dense_on_corpus(self):
+        pytest.importorskip("scipy")
+        from repro.sim.fast_engine import compile_topology
+
+        for kind, n in self.CORPUS:
+            top = compile_topology(corpus_graph(kind, n, seed=3))
+            dense = top.reach_matrix()
+            sp = top.reach_matrix(sparse=True)
+            assert (sp.toarray() == dense).all(), kind
+            # Both forms are built lazily and cached.
+            assert top.reach_matrix(sparse=True) is sp
+            assert top.reach_matrix() is dense
+
+    def test_sparse_lockstep_traces_byte_identical(self):
+        pytest.importorskip("scipy")
+        graph = corpus_graph("clique-bridge", 17)
+        seeds = list(range(6))
+        configs = [
+            EngineConfig(
+                collision_rule=CollisionRule.CR4, max_rounds=40, seed=s
+            )
+            for s in seeds
+        ]
+
+        def run(sparse):
+            return run_lockstep(
+                graph,
+                [make_processes("harmonic", graph.n) for _ in seeds],
+                [build_adversary("greedy", seed=s) for s in seeds],
+                configs,
+                sparse_reach=sparse,
+            )
+
+        for sp, dn in zip(run(True), run(False)):
+            assert trace_to_json(sp) == trace_to_json(dn)
+
+    def test_sparse_request_without_scipy_raises(self, monkeypatch):
+        import repro.sim.vector_engine as vector_mod
+
+        monkeypatch.setattr(vector_mod, "_sp", None)
+        graph = corpus_graph("line", 9)
+        with pytest.raises(RuntimeError, match="scipy"):
+            run_lockstep(
+                graph,
+                [make_processes("round_robin", graph.n)],
+                [None],
+                [EngineConfig(max_rounds=5, seed=0)],
+                sparse_reach=True,
+            )
+        # Auto-selection (sparse_reach=None) quietly stays dense.
+        (trace,) = run_lockstep(
+            graph,
+            [make_processes("round_robin", graph.n)],
+            [None],
+            [EngineConfig(max_rounds=5, seed=0)],
+        )
+        assert trace.num_rounds == 5
+
+    def test_auto_select_threshold(self):
+        pytest.importorskip("scipy")
+        from scipy.sparse import issparse
+
+        from repro.sim.fast_engine import compile_topology
+        from repro.sim.vector_engine import (
+            _SPARSE_REACH_MIN_N,
+            _select_reach,
+        )
+
+        small = compile_topology(corpus_graph("line", 9))
+        assert not issparse(_select_reach(small, None))
+        assert issparse(_select_reach(small, True))
+        assert _SPARSE_REACH_MIN_N > 9  # the corpus stays dense
+
+    @pytest.mark.slow
+    def test_large_sparse_reach_smoke(self):
+        """n=10^4: CSR rows match the bitmask reach sets without ever
+        materializing the 10^4 x 10^4 dense matrix, and a lockstep run
+        on the sparse form completes."""
+        pytest.importorskip("scipy")
+        from repro.experiments.registry import build_graph
+        from repro.sim.fast_engine import compile_topology
+
+        n = 10_000
+        graph = build_graph("line", n)
+        top = compile_topology(graph)
+        sp = top.reach_matrix(sparse=True)
+        assert sp.shape == (n, n)
+        for v in (0, 1, n // 2, n - 1):
+            row = sp.getrow(v)
+            cols = set(row.indices.tolist())
+            expected = {v, *top.reliable_out_seq[v]}
+            assert cols == expected, v
+        (trace,) = run_lockstep(
+            graph,
+            [make_processes("round_robin", n)],
+            [None],
+            [EngineConfig(max_rounds=8, seed=0)],
+            sparse_reach=True,
+        )
+        assert trace.num_rounds == 8
