@@ -13,9 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
-
-import numpy as np
+from typing import Iterable, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -71,16 +69,30 @@ def fit_power_law(
         raise ValueError("need at least two points to fit")
     if any(n <= 1 for n in ns) or any(t <= 0 for t in ts):
         raise ValueError("need n > 1 and t > 0 for a log-log fit")
-    x = np.log([float(n) for n in ns])
-    adjusted = [
+    x: List[float] = [math.log(float(n)) for n in ns]
+    y: List[float] = [
         math.log(t) - log_exponent * math.log(math.log2(n))
         for n, t in zip(ns, ts)
     ]
-    y = np.array(adjusted)
-    slope, intercept = np.polyfit(x, y, 1)
-    predictions = slope * x + intercept
-    ss_res = float(np.sum((y - predictions) ** 2))
-    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    # Closed-form ordinary least squares in log space (the degree-1
+    # polyfit this used to delegate to NumPy for); pure stdlib so the
+    # analysis layer honours the stdlib-only runtime contract.
+    mean_x = math.fsum(x) / len(x)
+    mean_y = math.fsum(y) / len(y)
+    var_x = math.fsum((xi - mean_x) ** 2 for xi in x)
+    if var_x == 0:
+        raise ValueError("need at least two distinct n values to fit")
+    slope = (
+        math.fsum(
+            (xi - mean_x) * (yi - mean_y) for xi, yi in zip(x, y)
+        )
+        / var_x
+    )
+    intercept = mean_y - slope * mean_x
+    ss_res = math.fsum(
+        (yi - (slope * xi + intercept)) ** 2 for xi, yi in zip(x, y)
+    )
+    ss_tot = math.fsum((yi - mean_y) ** 2 for yi in y)
     r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
     return PowerLawFit(
         exponent=float(slope),

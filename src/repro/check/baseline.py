@@ -1,0 +1,124 @@
+"""Baseline files: grandfathered findings for incremental adoption.
+
+A baseline is a JSON snapshot of known findings.  ``repro check
+--write-baseline`` records the current state; later runs with
+``--baseline`` subtract it, so a tree with historical debt can still
+gate *new* violations at diff time.  Matching is by ``(path, code,
+message)`` with per-key counts — line numbers are excluded so
+unrelated edits that shift a grandfathered finding do not resurface
+it, and fixing one of N identical findings shrinks the allowance by
+one rather than hiding the rest.
+
+The repository's own policy is an **empty baseline** (see
+docs/CHECKS.md): the file format exists for downstream forks and for
+staging large refactors, not as a parking lot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Tuple
+
+from repro.check.findings import Finding
+
+#: Schema version stamped into baseline files.
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+@dataclasses.dataclass
+class Baseline:
+    """A count-map of grandfathered findings.
+
+    Attributes:
+        entries: ``(path, code, message) → allowed count``.
+    """
+
+    entries: Dict[_Key, int] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        """Snapshot ``findings`` into a baseline."""
+        entries: Dict[_Key, int] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            ValueError: On an unreadable or wrong-version document.
+        """
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read baseline {path}: {exc}")
+        if (
+            not isinstance(doc, dict)
+            or doc.get("version") != BASELINE_VERSION
+            or not isinstance(doc.get("entries"), list)
+        ):
+            raise ValueError(
+                f"baseline {path} is not a version-"
+                f"{BASELINE_VERSION} repro-check baseline"
+            )
+        entries: Dict[_Key, int] = {}
+        for entry in doc["entries"]:
+            key = (
+                str(entry["path"]),
+                str(entry["code"]),
+                str(entry["message"]),
+            )
+            entries[key] = entries.get(key, 0) + int(
+                entry.get("count", 1)
+            )
+        return cls(entries=entries)
+
+    def save(self, path: pathlib.Path) -> None:
+        """Write the baseline, key-sorted for diffable output."""
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "path": p,
+                    "code": code,
+                    "message": message,
+                    "count": count,
+                }
+                for (p, code, message), count in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def filter(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """Subtract grandfathered findings.
+
+        Returns the surviving findings and the number absorbed.  Each
+        baseline entry absorbs at most its recorded count, in
+        source-order, so *new* duplicates of an old finding still
+        fail.
+        """
+        budget = dict(self.entries)
+        kept: List[Finding] = []
+        absorbed = 0
+        for finding in sorted(findings):
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                kept.append(finding)
+        return kept, absorbed

@@ -404,6 +404,45 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Run the AST invariant checker (see docs/CHECKS.md)."""
+    import pathlib
+
+    from repro.check import (
+        Baseline,
+        check_paths,
+        render_human,
+        render_json,
+        render_rule_list,
+    )
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    paths = [pathlib.Path(p) for p in (args.paths or ["src/repro"])]
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(pathlib.Path(args.baseline))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    try:
+        report = check_paths(paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    if args.write_baseline:
+        Baseline.from_findings(list(report.findings)).save(
+            pathlib.Path(args.write_baseline)
+        )
+        print(
+            f"wrote baseline {args.write_baseline}: "
+            f"{len(report.findings)} finding(s) grandfathered"
+        )
+        return 0
+    print(render_json(report) if args.json else render_human(report))
+    return 0 if report.clean else 1
+
+
 def cmd_lowerbound(args) -> int:
     from repro.core import (
         make_round_robin_processes,
@@ -696,6 +735,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--json", action="store_true")
     report.set_defaults(func=cmd_report)
+
+    check = sub.add_parser(
+        "check",
+        help="statically check the determinism/eligibility/import "
+        "contracts (AST rules RPR001-RPR006, see docs/CHECKS.md)",
+    )
+    check.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: src/repro)",
+    )
+    check.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON of grandfathered findings to subtract "
+        "(the repo's own policy is an empty baseline)",
+    )
+    check.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="snapshot the current findings into FILE and exit 0",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue (code, contract, fix, scope)",
+    )
+    check.add_argument("--json", action="store_true")
+    check.set_defaults(func=cmd_check)
 
     lb = sub.add_parser(
         "lowerbound", help="run an executable lower-bound construction"

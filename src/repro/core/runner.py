@@ -17,7 +17,7 @@ directly for callers that need to customise processes before running.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.adversaries.base import Adversary
 from repro.core.decay import make_decay_processes
@@ -68,7 +68,9 @@ def register_algorithm(name: str, factory: ProcessFactory) -> None:
     _REGISTRY[name] = factory
 
 
-def make_processes(algorithm: str, n: int, **params) -> List[Process]:
+def make_processes(
+    algorithm: str, n: int, **params: Any
+) -> List[Process]:
     """Instantiate the processes of a registered algorithm."""
     try:
         factory = _REGISTRY[algorithm]
@@ -110,7 +112,7 @@ def broadcast(
     seed: int = 0,
     max_rounds: Optional[int] = None,
     algorithm_params: Optional[dict] = None,
-    **config_kwargs,
+    **config_kwargs: Any,
 ) -> ExecutionTrace:
     """Run a named broadcast algorithm on a network and return its trace.
 

@@ -62,7 +62,7 @@ class SelectiveFamily:
         """Whether some member set isolates ``z`` within ``zs``."""
         return any(zs & f == {z} for f in self.sets)
 
-    def __deepcopy__(self, memo) -> "SelectiveFamily":
+    def __deepcopy__(self, memo: object) -> "SelectiveFamily":
         # Immutable: processes sharing a family may share it across clones.
         return self
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.ssf import (
     SSFBuilder,
@@ -70,7 +70,7 @@ class StrongSelectSchedule:
     s_max: int
     families: Tuple[SelectiveFamily, ...]
 
-    def __deepcopy__(self, memo) -> "StrongSelectSchedule":
+    def __deepcopy__(self, memo: object) -> "StrongSelectSchedule":
         # Immutable: process clones (lower-bound sandboxes) share it.
         return self
 
@@ -137,7 +137,7 @@ class StrongSelectSchedule:
         start = ((elapsed + size - 1) // size) * size
         return start, start + size
 
-    def scheduled_set(self, r: int):
+    def scheduled_set(self, r: int) -> Tuple[int, FrozenSet[int]]:
         """The (level, set) scheduled in global round ``r``."""
         s, p = self.level_of_round(r)
         fam = self.family(s)

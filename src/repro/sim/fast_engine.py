@@ -43,7 +43,7 @@ collision-rule/adversary combination.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.adversaries.base import Adversary
 from repro.graphs.dualgraph import DualGraph
@@ -107,7 +107,7 @@ class CompiledTopology:
         self._reach_matrix = None
         self._reach_matrix_sparse = None
 
-    def reach_matrix(self, sparse: bool = False):
+    def reach_matrix(self, sparse: bool = False) -> Any:
         """The reach masks as an ``(n, n)`` ``float32`` matrix.
 
         ``reach_matrix()[v, u] == 1.0`` iff a transmission from ``v`` is
@@ -244,7 +244,7 @@ class FastBroadcastEngine(BroadcastEngine):
     See the module docstring for the algebra.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         network = self.network
         topology = self._topology

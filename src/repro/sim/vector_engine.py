@@ -81,7 +81,7 @@ simply always used.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 try:  # pragma: no cover - exercised implicitly on numpy-less installs
     import numpy as _np
@@ -190,7 +190,10 @@ class VectorBroadcastEngine(FastBroadcastEngine):
     """
 
     def __init__(
-        self, *args, sparse_reach: Optional[bool] = None, **kwargs
+        self,
+        *args: Any,
+        sparse_reach: Optional[bool] = None,
+        **kwargs: Any,
     ) -> None:
         if _np is None:
             raise RuntimeError(
@@ -392,7 +395,12 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
             adversary = lane.adversary
             view = lane_views[i]
 
-            def cr4(node, msgs, view=view, adversary=adversary):
+            def cr4(
+                node: int,
+                msgs: List[Message],
+                view: AdversaryView = view,
+                adversary: Adversary = adversary,
+            ) -> Optional[Message]:
                 return adversary.resolve_cr4(view, node, msgs)
 
             lane_consults[i][node] = resolve_reception(

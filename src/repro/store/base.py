@@ -217,6 +217,6 @@ class ResultStore(abc.ABC):
         """Context-manager entry: the store itself."""
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         """Context-manager exit: close (and therefore flush)."""
         self.close()

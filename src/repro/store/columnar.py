@@ -43,7 +43,7 @@ COLUMNAR_FORMAT = "repro-store/columnar-v1"
 MANIFEST_NAME = "manifest.json"
 
 
-def _require_numpy():
+def _require_numpy() -> Any:
     """Import NumPy or explain how to get the columnar backend."""
     try:
         import numpy
@@ -55,7 +55,7 @@ def _require_numpy():
     return numpy
 
 
-def _encode_column(values: List[Any], np) -> Any:
+def _encode_column(values: List[Any], np: Any) -> Any:
     """Encode one field's values as (kind, array[, mask]).
 
     Kinds: ``b`` bool, ``i`` int, ``I`` nullable int (sidecar mask),
@@ -79,7 +79,7 @@ def _encode_column(values: List[Any], np) -> Any:
     return "j", np.asarray(encoded, dtype=np.str_), None
 
 
-def _decode_column(kind: str, column, mask) -> List[Any]:
+def _decode_column(kind: str, column: Any, mask: Any) -> List[Any]:
     """Invert :func:`_encode_column` back to plain Python values."""
     if kind == "b":
         return [bool(v) for v in column]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterator, Optional, TextIO
+from typing import Any, Dict, Iterable, Iterator, Optional, TextIO
 
 from repro.store.base import (
     ParseFn,
@@ -128,7 +128,7 @@ def append_jsonl_line(f: TextIO, record: Record) -> None:
     f.flush()
 
 
-def write_jsonl_atomic(path: str, records) -> int:
+def write_jsonl_atomic(path: str, records: Iterable[Any]) -> int:
     """Write records to ``path`` as JSONL via a temp file + rename.
 
     The merge tool's writer: the output either fully appears or is

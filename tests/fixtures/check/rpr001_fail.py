@@ -1,0 +1,12 @@
+"""RPR001 failing fixture: ambient/module-level randomness."""
+
+import random
+
+
+def jitter(xs):
+    random.shuffle(xs)
+    return random.random()
+
+
+def seedless_stream():
+    return random.Random()

@@ -1,0 +1,12 @@
+"""RPR001 passing fixture: key-derived per-entity streams."""
+
+import random
+
+
+def stream(seed, uid):
+    rng = random.Random(f"{seed}:{uid}")
+    return rng.random()
+
+
+def keyword_seeded(seed):
+    return random.Random(x=seed)

@@ -1,0 +1,12 @@
+"""RPR002 passing fixture: gated and function-local imports."""
+
+try:
+    import numpy as np
+except ImportError:
+    np = None
+
+
+def mean(xs):
+    import numpy
+
+    return numpy.mean(xs)

@@ -1,0 +1,9 @@
+"""RPR003 failing fixture: wall clocks and entropy sources."""
+
+import os
+import time
+import uuid
+
+
+def stamp():
+    return time.time(), uuid.uuid4().hex, os.urandom(8)

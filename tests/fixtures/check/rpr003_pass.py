@@ -1,0 +1,9 @@
+"""RPR003 passing fixture: monotonic elapsed-time measurement."""
+
+import time
+
+
+def elapsed(run):
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started

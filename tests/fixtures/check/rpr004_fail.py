@@ -1,0 +1,12 @@
+"""RPR004 failing fixture: unordered set iteration."""
+
+
+def total(edges):
+    out = 0
+    for edge in set(edges):
+        out += edge
+    return out
+
+
+def labels(nodes, extra):
+    return [str(n) for n in nodes.union(extra)]

@@ -1,0 +1,12 @@
+"""RPR004 passing fixture: sorted materialisation before iterating."""
+
+
+def total(edges):
+    out = 0
+    for edge in sorted(set(edges)):
+        out += edge
+    return out
+
+
+def labels(nodes, extra):
+    return [str(n) for n in sorted(nodes.union(extra))]

@@ -1,0 +1,9 @@
+"""RPR005 failing fixture: exact float comparisons."""
+
+
+def stalled(p):
+    return p == 0.5
+
+
+def not_done(x, raw):
+    return x != -1.0 or raw == float(raw)

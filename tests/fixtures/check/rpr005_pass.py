@@ -1,0 +1,11 @@
+"""RPR005 passing fixture: tolerant / integral comparisons."""
+
+import math
+
+
+def stalled(p):
+    return math.isclose(p, 0.5)
+
+
+def not_done(steps):
+    return steps != 1

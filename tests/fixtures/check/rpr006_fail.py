@@ -1,0 +1,13 @@
+"""RPR006 failing fixture: frozen mutation after construction."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    n: int
+
+
+def bump(cell):
+    object.__setattr__(cell, "n", cell.n + 1)
+    return cell

@@ -1,0 +1,15 @@
+"""RPR006 passing fixture: canonicalisation inside __post_init__."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    seeds: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+
+
+def grown(cell, seed):
+    return dataclasses.replace(cell, seeds=cell.seeds + (seed,))

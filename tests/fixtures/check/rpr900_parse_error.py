@@ -1,0 +1,4 @@
+"""RPR900 fixture: this file deliberately does not parse."""
+
+def broken(:
+    return None

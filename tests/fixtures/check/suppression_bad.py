@@ -1,0 +1,5 @@
+"""Suppression fixture: a bare noqa (no justification) is inert."""
+
+
+def replay_gate(p):
+    return p == 0.5  # repro: noqa(RPR005)

@@ -1,0 +1,7 @@
+"""Suppression fixture: justified noqa silences its finding."""
+
+
+def replay_gate(p):
+    # Exact equality is intentional here: the value round-trips
+    # through JSON and must match byte-for-byte.
+    return p == 0.5  # repro: noqa(RPR005): replayed literal must match exactly
