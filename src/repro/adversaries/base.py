@@ -39,6 +39,10 @@ class AdversaryView:
             (before this round's deliveries).
         active: Nodes whose process is awake this round.
         proc: The node → process-uid assignment in force.
+        crashed: Nodes currently down under fault injection
+            (:class:`~repro.sim.faults.ChurnSchedule`); empty in
+            failure-free runs.  Transmissions toward them dissolve, so
+            an adaptive adversary can avoid wasting deliveries there.
     """
 
     round_number: int
@@ -47,6 +51,7 @@ class AdversaryView:
     informed: FrozenSet[int]
     active: FrozenSet[int]
     proc: Mapping[int, int]
+    crashed: FrozenSet[int] = frozenset()
 
 
 class Adversary(abc.ABC):

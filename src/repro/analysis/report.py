@@ -9,19 +9,24 @@ without ever materialising the record list: records stream off
 (Welford mean/variance feeding the Student-t CI machinery), so memory
 is O(cells), not O(runs).
 
-The report has two tables:
+The report has up to three tables:
 
 * the **campaign table** — one row per (sweep, algorithm, graph, n,
   collision rule) cell with completion-round summary, transmission
   mean and cap-hit count: the empirical side of the paper's Tables 1–2
-  ensemble claims; and
+  ensemble claims;
 * the **paper-reference table** — rows for which the source paper
   states a bound the cell can be read against: Theorem 2's ``n − 3``
   worst-case lower bound for deterministic algorithms on the
   clique-bridge family, Theorem 10's ``X = ⌈n/ρ⌉`` Strong Select
   completion guarantee, and Theorem 18's ``2·n·T·H(n)`` w.h.p.
   Harmonic bound.  Cells outside every stated bound simply have no
-  row — the report never invents a comparison.
+  row — the report never invents a comparison; and
+* the **under-churn table** — fault-injected cells
+  (``churn_kind != "none"``), rendered only when the campaign has any.
+  Churn records never enter the other two tables: the paper's bounds
+  are stated for the failure-free model, so mixing crash/recovery runs
+  into them would silently corrupt every comparison.
 """
 
 from __future__ import annotations
@@ -81,6 +86,10 @@ class CellAggregate:
 #: The grouping key of one campaign-table row.
 CellKey = Tuple[str, str, str, int, str]
 
+#: The grouping key of one under-churn row: a cell key plus the
+#: fault-injection kind that produced the records.
+ChurnCellKey = Tuple[str, str, str, int, str, str]
+
 
 class CampaignReport:
     """A streaming fold of campaign records into the paper tables."""
@@ -104,13 +113,50 @@ class CampaignReport:
         "consistent",
     ]
 
+    CHURN_HEADER = [
+        "sweep",
+        "algorithm",
+        "graph",
+        "n",
+        "CR",
+        "churn",
+        "runs",
+        "completion rounds",
+        "mean sends",
+        "capped",
+    ]
+
     def __init__(self) -> None:
         """Start with no cells and no records."""
         self.cells: Dict[CellKey, CellAggregate] = {}
+        self.churn_cells: Dict[ChurnCellKey, CellAggregate] = {}
         self.records = 0
 
     def add(self, record) -> None:
-        """Fold one record into its cell's aggregate."""
+        """Fold one record into its cell's aggregate.
+
+        Fault-injected records (``churn_kind != "none"``) aggregate
+        into their own cells — the campaign and paper-reference tables
+        stay failure-free, so the paper's bounds are only ever read
+        against the model they are stated for.
+        """
+        churn_kind = getattr(record, "churn_kind", "none")
+        if churn_kind != "none":
+            churn_key: ChurnCellKey = (
+                record.sweep,
+                record.algorithm,
+                record.graph_kind,
+                record.n,
+                record.collision_rule,
+                churn_kind,
+            )
+            churn_cell = self.churn_cells.get(churn_key)
+            if churn_cell is None:
+                churn_cell = CellAggregate()
+                self.churn_cells[churn_key] = churn_cell
+            churn_cell.add(record)
+            self.records += 1
+            return
         key: CellKey = (
             record.sweep,
             record.algorithm,
@@ -148,6 +194,39 @@ class CampaignReport:
                     graph,
                     n,
                     cr,
+                    cell.records,
+                    cell.completion.summary().format()
+                    if cell.completion.count
+                    else "—",
+                    f"{cell.transmissions.mean:.1f}"
+                    if cell.transmissions.count
+                    else "—",
+                    cell.capped,
+                ]
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Under-churn table
+    # ------------------------------------------------------------------
+    def churn_rows(self) -> List[List[Any]]:
+        """One row per fault-injected cell, sorted by the grouping key.
+
+        Empty when the campaign has no churn records, in which case the
+        report renders without the companion table at all.
+        """
+        rows: List[List[Any]] = []
+        for key in sorted(self.churn_cells):
+            sweep, algorithm, graph, n, cr, churn_kind = key
+            cell = self.churn_cells[key]
+            rows.append(
+                [
+                    sweep,
+                    algorithm,
+                    graph,
+                    n,
+                    cr,
+                    churn_kind,
                     cell.records,
                     cell.completion.summary().format()
                     if cell.completion.count
@@ -205,7 +284,7 @@ class CampaignReport:
                 self.CAMPAIGN_HEADER,
                 self.table_rows(),
                 title=f"{title}: {self.records} records, "
-                f"{len(self.cells)} cells",
+                f"{len(self.cells) + len(self.churn_cells)} cells",
             )
         ]
         reference = self.reference_rows()
@@ -216,6 +295,16 @@ class CampaignReport:
                     reference,
                     title="paper reference bounds "
                     "(Thm 2 / Thm 10 / Thm 18)",
+                )
+            )
+        churn = self.churn_rows()
+        if churn:
+            blocks.append(
+                render_table(
+                    self.CHURN_HEADER,
+                    churn,
+                    title="under churn (fault-injected cells; "
+                    "paper bounds do not apply)",
                 )
             )
         return "\n\n".join(blocks)
@@ -250,7 +339,39 @@ class CampaignReport:
                     "ci95_half_width": summary.ci95_half_width,
                 }
             cells.append(doc)
-        return {"records": self.records, "cells": cells}
+        out: Dict[str, Any] = {"records": self.records, "cells": cells}
+        if self.churn_cells:
+            churn_docs = []
+            for churn_key in sorted(self.churn_cells):
+                sweep, algorithm, graph, n, cr, churn_kind = churn_key
+                cell = self.churn_cells[churn_key]
+                churn_doc: Dict[str, Any] = {
+                    "sweep": sweep,
+                    "algorithm": algorithm,
+                    "graph_kind": graph,
+                    "n": n,
+                    "collision_rule": cr,
+                    "churn_kind": churn_kind,
+                    "records": cell.records,
+                    "capped": cell.capped,
+                    "mean_transmissions": cell.transmissions.mean
+                    if cell.transmissions.count
+                    else None,
+                }
+                if cell.completion.count:
+                    summary = cell.completion.summary()
+                    churn_doc["completion"] = {
+                        "count": summary.count,
+                        "mean": summary.mean,
+                        "median": summary.median,
+                        "stdev": summary.stdev,
+                        "min": summary.minimum,
+                        "max": summary.maximum,
+                        "ci95_half_width": summary.ci95_half_width,
+                    }
+                churn_docs.append(churn_doc)
+            out["churn_cells"] = churn_docs
+        return out
 
 
 def paper_reference(

@@ -20,6 +20,9 @@ only probe dynamically into a diff-time static check:
   ``==``/``!=`` against float literals.
 * **RPR006** — frozen-dataclass fields are only mutated via
   ``object.__setattr__`` inside ``__post_init__``.
+* **RPR007** — fault-injection modules never seed their streams with
+  bare constants: a literal seed makes every churn schedule identical
+  across runs, silently collapsing a sweep's fault axis.
 
 The catalogue with the full contract text and fixes is rendered by
 ``repro check --list-rules`` and mirrored in docs/CHECKS.md.
@@ -380,3 +383,65 @@ class FrozenMutation(ContractRule):
             "frozen dataclass after construction; use "
             "dataclasses.replace",
         )
+
+
+def _is_constant_seed(node: ast.AST) -> bool:
+    """Whether ``node`` is a bare literal (ints, strings, unary-signed
+    ints) — f-strings are ``JoinedStr`` nodes, so namespaced seeds like
+    ``f"churn:{seed}"`` pass."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_constant_seed(node.operand)
+    return False
+
+
+@register_rule
+class ConstantFaultSeed(ContractRule):
+    """RPR007: fault streams must derive their seeds from the run."""
+
+    code = "RPR007"
+    name = "constant-fault-seed"
+    contract = (
+        "Fault-injection modules (repro/sim/faults.py) generate churn "
+        "schedules that are a sweep axis: the stream behind a schedule "
+        "must be seeded from the run's own seed, namespaced "
+        '(random.Random(f"churn:{seed}")). A bare literal seed makes '
+        "every run draw the identical schedule, silently collapsing "
+        "the fault axis of a sweep to one sample."
+    )
+    fix = (
+        "Thread the run seed into the generator and seed the stream "
+        'with a namespaced derivation, e.g. '
+        'random.Random(f"churn:{seed}").'
+    )
+    scopes: Optional[Tuple[str, ...]] = ("sim",)
+    interests: Tuple[type, ...] = (ast.Call,)
+
+    def inspect(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        # Within the sim scope only fault-injection modules are held
+        # to this contract; scope-None files (the fixture corpus and
+        # ad-hoc targets) get it like every rule.
+        if ctx.scope is not None and not ctx.path.endswith("faults.py"):
+            return
+        if ctx.resolve(node.func) != "random.Random":
+            return
+        seeds = list(node.args) + [
+            kw.value for kw in node.keywords if kw.arg is not None
+        ]
+        for seed in seeds:
+            if _is_constant_seed(seed):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.Random with a literal seed pins the fault "
+                    "schedule: every run draws identical churn; "
+                    "derive the seed from the run "
+                    '(random.Random(f"churn:{seed}"))',
+                )
+                return

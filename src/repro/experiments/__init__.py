@@ -26,11 +26,15 @@ from repro.experiments.registry import (
     adversary_descriptions,
     adversary_kinds,
     build_adversary,
+    build_churn,
     build_graph,
+    churn_descriptions,
+    churn_kinds,
     graph_descriptions,
     graph_kinds,
     graph_seed_dependent,
     register_adversary,
+    register_churn,
     register_graph,
 )
 from repro.experiments.results import RunResult, SweepResult
@@ -44,6 +48,7 @@ from repro.experiments.spec import (
     AdversarySpec,
     AlgorithmSpec,
     CellBatch,
+    ChurnSpec,
     ExperimentSpec,
     GraphSpec,
     RunTask,
@@ -55,6 +60,7 @@ __all__ = [
     "AdversarySpec",
     "AlgorithmSpec",
     "CellBatch",
+    "ChurnSpec",
     "ExperimentSpec",
     "GraphSpec",
     "RunResult",
@@ -64,7 +70,10 @@ __all__ = [
     "adversary_descriptions",
     "adversary_kinds",
     "build_adversary",
+    "build_churn",
     "build_graph",
+    "churn_descriptions",
+    "churn_kinds",
     "execute_batch",
     "execute_task",
     "graph_descriptions",
@@ -73,6 +82,7 @@ __all__ = [
     "load_specs",
     "plan_batches",
     "register_adversary",
+    "register_churn",
     "register_graph",
     "run_sweep",
 ]

@@ -8,8 +8,12 @@ registries below, which therefore define the vocabulary of spec files.
 Graph factories take ``(n, seed, **params)`` and return a
 :class:`~repro.graphs.dualgraph.DualGraph`; adversary factories take
 ``(seed, **params)`` and return an
-:class:`~repro.adversaries.base.Adversary`.  Both registries are
-extensible via :func:`register_graph` / :func:`register_adversary`.
+:class:`~repro.adversaries.base.Adversary`; churn factories take
+``(n, rounds, seed, **params)`` and return a
+:class:`~repro.sim.faults.ChurnSchedule` (or ``None`` for the
+failure-free ``"none"`` kind).  All registries are extensible via
+:func:`register_graph` / :func:`register_adversary` /
+:func:`register_churn`.
 Runtime registrations reach sweep workers on platforms with the
 ``fork`` start method (Linux, which the runner prefers); on
 spawn-only platforms (Windows) workers re-import this module, so
@@ -19,7 +23,7 @@ workers also import — or run with ``workers=1``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.adversaries import (
     Adversary,
@@ -41,9 +45,11 @@ from repro.graphs import (
     with_complete_unreliable,
 )
 from repro.graphs.dualgraph import DualGraph
+from repro.sim.faults import ChurnSchedule, generate_churn, window_churn
 
 GraphFactory = Callable[..., DualGraph]
 AdversaryFactory = Callable[..., Adversary]
+ChurnFactory = Callable[..., Optional[ChurnSchedule]]
 
 _GRAPHS: Dict[str, GraphFactory] = {
     "gnp": lambda n, seed, **kw: gnp_dual(n, seed=seed, **kw),
@@ -107,6 +113,26 @@ _ADVERSARY_DESCRIPTIONS: Dict[str, str] = {
     "pivot": "PivotAdversary: blankets the next pivot layer (needs n)",
 }
 
+#: Churn factories take ``(n, rounds, seed, **params)``.  ``rounds`` is
+#: the task's *resolved* round cap, so rate-based schedules cover the
+#: whole horizon a run can reach; the seed is the task's key-derived
+#: seed, making every schedule reproducible from the spec alone.
+_CHURNS: Dict[str, ChurnFactory] = {
+    "none": lambda n, rounds, seed, **kw: None,
+    "rate": lambda n, rounds, seed, **kw: generate_churn(
+        n, rounds, seed=seed, **kw
+    ),
+    "window": lambda n, rounds, seed, **kw: window_churn(n, **kw),
+}
+
+_CHURN_DESCRIPTIONS: Dict[str, str] = {
+    "none": "failure-free run (no fault injection)",
+    "rate": "per-round crash/recover coin flips (crash_rate, "
+    "recover_rate, rejoin)",
+    "window": "count nodes down from round start for length rounds "
+    "(count, start, length, rejoin)",
+}
+
 
 def graph_kinds() -> List[str]:
     """The registered graph-kind names."""
@@ -116,6 +142,11 @@ def graph_kinds() -> List[str]:
 def adversary_kinds() -> List[str]:
     """The registered adversary-kind names."""
     return sorted(_ADVERSARIES)
+
+
+def churn_kinds() -> List[str]:
+    """The registered churn-kind names."""
+    return sorted(_CHURNS)
 
 
 def graph_descriptions() -> Dict[str, str]:
@@ -130,6 +161,14 @@ def adversary_descriptions() -> Dict[str, str]:
     return {
         kind: _ADVERSARY_DESCRIPTIONS.get(kind, "")
         for kind in adversary_kinds()
+    }
+
+
+def churn_descriptions() -> Dict[str, str]:
+    """One-line description per registered churn kind."""
+    return {
+        kind: _CHURN_DESCRIPTIONS.get(kind, "")
+        for kind in churn_kinds()
     }
 
 
@@ -201,3 +240,32 @@ def build_adversary(kind: str, seed: int = 0, **params) -> Adversary:
             f"unknown adversary kind {kind!r}; known: {adversary_kinds()}"
         ) from None
     return factory(seed, **params)
+
+
+def register_churn(
+    kind: str, factory: ChurnFactory, description: str = ""
+) -> None:
+    """Register a churn factory ``factory(n, rounds, seed, **params)``.
+
+    The factory returns a :class:`~repro.sim.faults.ChurnSchedule` (or
+    ``None`` for no fault injection).  ``description`` is the one-liner
+    ``repro list`` prints for the kind.
+    """
+    if kind in _CHURNS:
+        raise ValueError(f"churn kind {kind!r} already registered")
+    _CHURNS[kind] = factory
+    if description:
+        _CHURN_DESCRIPTIONS[kind] = description
+
+
+def build_churn(
+    kind: str, n: int, rounds: int, seed: int = 0, **params
+) -> Optional[ChurnSchedule]:
+    """Instantiate a registered churn kind for one run's horizon."""
+    try:
+        factory = _CHURNS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown churn kind {kind!r}; known: {churn_kinds()}"
+        ) from None
+    return factory(n, rounds, seed, **params)

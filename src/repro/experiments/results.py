@@ -45,6 +45,10 @@ class RunResult:
             the engines are trace-equivalent; a task requesting the fast
             engine records ``"reference"`` when its combination was
             ineligible and fell back.
+        churn_kind: The fault-injection kind the task ran under
+            (``"none"`` for failure-free runs).  A science axis, not
+            bookkeeping: reports keep churn records out of the
+            failure-free tables and render them separately.
     """
 
     key: str
@@ -62,6 +66,7 @@ class RunResult:
     rounds: int
     total_transmissions: int
     engine: str = "reference"
+    churn_kind: str = "none"
 
     def to_dict(self) -> Dict[str, Any]:
         """The record as one JSON-lines document (see ``from_dict``)."""
@@ -81,6 +86,7 @@ class RunResult:
             "rounds": self.rounds,
             "total_transmissions": self.total_transmissions,
             "engine": self.engine,
+            "churn_kind": self.churn_kind,
         }
 
     @classmethod
@@ -106,6 +112,7 @@ class RunResult:
             rounds=int(doc["rounds"]),
             total_transmissions=int(doc["total_transmissions"]),
             engine=doc.get("engine", "reference"),
+            churn_kind=doc.get("churn_kind", "none"),
         )
 
 

@@ -78,6 +78,7 @@ from typing import (
 from repro.core.runner import make_processes, suggested_round_limit
 from repro.experiments.registry import (
     build_adversary,
+    build_churn,
     build_graph,
     graph_seed_dependent,
 )
@@ -142,12 +143,23 @@ def _execute_on(
         )
     rule = CollisionRule[task.collision_rule]
     engine_name = _route_engine(task.engine, rule, adversary)
+    # The churn schedule is built from the task's key-derived seed and
+    # its *resolved* round cap, so rate-based schedules cover the whole
+    # horizon and are reproducible from the spec alone.
+    churn = build_churn(
+        task.churn_kind,
+        n=graph.n,
+        rounds=max_rounds,
+        seed=task.derived_seed,
+        **dict(task.churn_params),
+    )
     config = EngineConfig(
         collision_rule=rule,
         start_mode=StartMode(task.start_mode),
         max_rounds=max_rounds,
         seed=task.derived_seed,
         engine=engine_name,
+        churn=churn,
     )
     engine = build_engine(
         graph, processes, adversary, config, topology=topology
@@ -199,6 +211,7 @@ def _result_from(
         rounds=trace.num_rounds,
         total_transmissions=sum(trace.sender_counts()),
         engine=engine_name,
+        churn_kind=task.churn_kind,
     )
 
 
@@ -343,6 +356,17 @@ def _execute_batch_lockstep(
                 max_rounds=max_rounds,
                 seed=task.derived_seed,
                 engine="vector",
+                # Per-lane schedules: lockstep shares only the rule,
+                # start mode and recording flag across lanes, so each
+                # lane carries exactly the schedule the per-task
+                # pipeline would build for it.
+                churn=build_churn(
+                    task.churn_kind,
+                    n=graph.n,
+                    rounds=max_rounds,
+                    seed=task.derived_seed,
+                    **dict(task.churn_params),
+                ),
             )
         )
     # Bounded lane blocks: one lockstep call interleaves every lane's
@@ -462,9 +486,20 @@ class SweepRunner:
         """
         if tasks is None:
             tasks = self.tasks()
-        digest = hashlib.sha256(
-            "\n".join(sorted(t.key for t in tasks)).encode("utf-8")
+        keys = sorted(t.key for t in tasks)
+        # A fingerprint over non-unique keys would hash colliding tasks
+        # into one campaign identity; refuse before any worker runs
+        # (externally-assembled task lists bypass the spec-level and
+        # ``tasks()`` duplicate checks, so this is the last gate).
+        dupes = sorted(
+            {k for k, nxt in zip(keys, keys[1:]) if k == nxt}
         )
+        if dupes:
+            raise ValueError(
+                f"non-unique task keys {dupes[:5]}: colliding tasks "
+                "would overwrite each other's resume records"
+            )
+        digest = hashlib.sha256("\n".join(keys).encode("utf-8"))
         return digest.hexdigest()[:16]
 
     def open_store(

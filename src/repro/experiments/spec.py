@@ -118,6 +118,28 @@ class AdversarySpec:
 
 
 @dataclass(frozen=True)
+class ChurnSpec:
+    """One fault-injection axis entry: a registered kind plus params.
+
+    ``kind="none"`` (the default) is the failure-free run; other kinds
+    are resolved by :mod:`repro.experiments.registry` into a
+    :class:`~repro.sim.faults.ChurnSchedule` built from the task's
+    derived seed, so the schedule is reproducible from the spec alone.
+    """
+
+    kind: str = "none"
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @property
+    def label(self) -> str:
+        """Human-readable axis label, e.g. ``rate(crash_rate=0.02)``."""
+        return f"{self.kind}{_fmt_params(self.params)}"
+
+
+@dataclass(frozen=True)
 class RunTask:
     """One fully-specified execution: a single cell of the sweep grid.
 
@@ -138,6 +160,8 @@ class RunTask:
     seed: int
     max_rounds: Optional[int] = None
     engine: str = "reference"
+    churn_kind: str = "none"
+    churn_params: Params = ()
 
     def _key_parts(self, with_seed: bool) -> List[str]:
         """The shared key-segment list behind every key flavour.
@@ -155,6 +179,14 @@ class RunTask:
             f"{_fmt_params(self.adversary_params)}",
             f"{self.collision_rule}-{self.start_mode}",
         ]
+        # The churn segment appears only for fault-injected tasks, so
+        # every key of every pre-churn sweep is unchanged and old
+        # results files remain valid resume points.
+        if self.churn_kind != "none":
+            parts.append(
+                f"churn-{self.churn_kind}"
+                f"{_fmt_params(self.churn_params)}"
+            )
         if with_seed:
             parts.append(f"s{self.seed}")
         if self.max_rounds is not None:
@@ -276,7 +308,17 @@ def plan_batches(tasks: Sequence[RunTask]) -> List[CellBatch]:
     seeds.
     """
     groups: Dict[str, List[RunTask]] = {}
+    seen_keys: set = set()
     for task in tasks:
+        # A key collision here means two tasks would overwrite each
+        # other's records and silently satisfy each other's resume
+        # check — fail loudly before any work is dispatched.
+        if task.key in seen_keys:
+            raise ValueError(
+                f"duplicate task key {task.key!r}: two tasks would "
+                "share one resume-by-key record"
+            )
+        seen_keys.add(task.key)
         groups.setdefault(task.cell_key, []).append(task)
     return [CellBatch(tuple(group)) for group in groups.values()]
 
@@ -327,6 +369,20 @@ def _coerce_adversary(entry) -> AdversarySpec:
     raise TypeError(f"cannot interpret adversary entry {entry!r}")
 
 
+def _coerce_churn(entry) -> ChurnSpec:
+    if isinstance(entry, ChurnSpec):
+        return entry
+    if isinstance(entry, str):
+        return ChurnSpec(entry)
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        return ChurnSpec(entry[0], _freeze_params(entry[1]))
+    if isinstance(entry, dict):
+        return ChurnSpec(
+            entry["kind"], _freeze_params(entry.get("params"))
+        )
+    raise TypeError(f"cannot interpret churn entry {entry!r}")
+
+
 def _coerce_rule(entry) -> str:
     if isinstance(entry, CollisionRule):
         return entry.name
@@ -372,7 +428,7 @@ class ExperimentSpec:
 
     The task list is the cross product
     ``algorithms × graphs × adversaries × collision_rules × start_modes
-    × seeds`` in that (deterministic) nesting order.
+    × engines × churns × seeds`` in that (deterministic) nesting order.
 
     Axis entries accept light-weight shorthands::
 
@@ -401,6 +457,7 @@ class ExperimentSpec:
     collision_rules: Tuple[str, ...] = ("CR4",)
     start_modes: Tuple[str, ...] = ("asynchronous",)
     engines: Tuple[str, ...] = ("reference",)
+    churns: Tuple[ChurnSpec, ...] = (ChurnSpec("none"),)
     seeds: Tuple[int, ...] = (0,)
     max_rounds: Optional[int] = None
 
@@ -434,6 +491,11 @@ class ExperimentSpec:
             "engines",
             tuple(_coerce_engine(e) for e in self.engines),
         )
+        object.__setattr__(
+            self,
+            "churns",
+            tuple(_coerce_churn(c) for c in self.churns),
+        )
         object.__setattr__(self, "seeds", _coerce_seeds(self.seeds))
         if not (
             self.algorithms
@@ -442,12 +504,50 @@ class ExperimentSpec:
             and self.collision_rules
             and self.start_modes
             and self.engines
+            and self.churns
             and self.seeds
         ):
             raise ValueError(
                 "spec needs at least one entry on every axis "
                 "(algorithms, graphs, adversaries, collision_rules, "
-                "start_modes, engines, seeds)"
+                "start_modes, engines, churns, seeds)"
+            )
+        # Repeated axis entries expand to tasks with identical keys, so
+        # they would overwrite each other's records and make a resumed
+        # sweep report completion after running only the unique cells.
+        # Reject them at construction with the offending entries named.
+        self._reject_duplicates("seeds", self.seeds, str)
+        self._reject_duplicates(
+            "algorithms", self.algorithms, lambda a: a.label
+        )
+        self._reject_duplicates(
+            "graphs", self.graphs, lambda g: g.label
+        )
+        self._reject_duplicates(
+            "adversaries", self.adversaries, lambda a: a.label
+        )
+        self._reject_duplicates(
+            "collision_rules", self.collision_rules, str
+        )
+        self._reject_duplicates("start_modes", self.start_modes, str)
+        self._reject_duplicates("engines", self.engines, str)
+        self._reject_duplicates(
+            "churns", self.churns, lambda c: c.label
+        )
+
+    def _reject_duplicates(self, axis, entries, label) -> None:
+        """Raise if an axis repeats an entry (keys would collide)."""
+        seen: set = set()
+        dupes: List[str] = []
+        for entry in entries:
+            if entry in seen:
+                dupes.append(label(entry))
+            seen.add(entry)
+        if dupes:
+            raise ValueError(
+                f"spec {self.name!r}: duplicate {axis} "
+                f"entries {dupes} — repeated entries collapse onto "
+                "one resume key and silently shrink the sweep"
             )
 
     # ------------------------------------------------------------------
@@ -463,6 +563,7 @@ class ExperimentSpec:
             * len(self.collision_rules)
             * len(self.start_modes)
             * len(self.engines)
+            * len(self.churns)
             * len(self.seeds)
         )
 
@@ -475,24 +576,37 @@ class ExperimentSpec:
                     for rule in self.collision_rules:
                         for mode in self.start_modes:
                             for engine in self.engines:
-                                for seed in self.seeds:
-                                    out.append(
-                                        RunTask(
-                                            sweep=self.name,
-                                            algorithm=alg.name,
-                                            algorithm_params=alg.params,
-                                            graph_kind=graph.kind,
-                                            n=graph.n,
-                                            graph_params=graph.params,
-                                            adversary_kind=adv.kind,
-                                            adversary_params=adv.params,
-                                            collision_rule=rule,
-                                            start_mode=mode,
-                                            seed=seed,
-                                            max_rounds=self.max_rounds,
-                                            engine=engine,
+                                for churn in self.churns:
+                                    for seed in self.seeds:
+                                        out.append(
+                                            RunTask(
+                                                sweep=self.name,
+                                                algorithm=alg.name,
+                                                algorithm_params=(
+                                                    alg.params
+                                                ),
+                                                graph_kind=graph.kind,
+                                                n=graph.n,
+                                                graph_params=(
+                                                    graph.params
+                                                ),
+                                                adversary_kind=adv.kind,
+                                                adversary_params=(
+                                                    adv.params
+                                                ),
+                                                collision_rule=rule,
+                                                start_mode=mode,
+                                                seed=seed,
+                                                max_rounds=(
+                                                    self.max_rounds
+                                                ),
+                                                engine=engine,
+                                                churn_kind=churn.kind,
+                                                churn_params=(
+                                                    churn.params
+                                                ),
+                                            )
                                         )
-                                    )
         return out
 
     # ------------------------------------------------------------------
@@ -517,6 +631,10 @@ class ExperimentSpec:
             "collision_rules": list(self.collision_rules),
             "start_modes": list(self.start_modes),
             "engines": list(self.engines),
+            "churns": [
+                {"kind": c.kind, "params": dict(c.params)}
+                for c in self.churns
+            ],
             "seeds": list(self.seeds),
             "max_rounds": self.max_rounds,
         }
@@ -529,6 +647,7 @@ class ExperimentSpec:
         "collision_rules",
         "start_modes",
         "engines",
+        "churns",
         "seeds",
         "max_rounds",
     )
@@ -550,6 +669,7 @@ class ExperimentSpec:
             collision_rules=doc.get("collision_rules", ["CR4"]),
             start_modes=doc.get("start_modes", ["asynchronous"]),
             engines=doc.get("engines", ["reference"]),
+            churns=doc.get("churns", ["none"]),
             seeds=doc.get("seeds", [0]),
             max_rounds=doc.get("max_rounds"),
         )

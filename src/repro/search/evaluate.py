@@ -89,6 +89,10 @@ class SearchSettings:
     seed: int = 0
     max_rounds: Optional[int] = None
     engine: str = "auto"
+    #: When true, genomes carry crash genes and every evaluation runs
+    #: under the genome's compiled churn schedule — the adversary
+    #: co-optimises crash timing alongside edge deliveries.
+    churn_genes: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -122,6 +126,10 @@ class SearchSettings:
         ]
         if self.max_rounds is not None:
             parts.append(f"cap{self.max_rounds}")
+        # Emitted only when enabled so every pre-churn cell keeps its
+        # key — and therefore its resume-by-key store — unchanged.
+        if self.churn_genes:
+            parts.append("churn")
         return "/".join(parts)
 
     @property
@@ -185,7 +193,9 @@ class EvaluationContext:
             cap = suggested_round_limit(settings.algorithm, self.graph)
         self.round_cap: int = cap
 
-    def _config(self, engine: str, record: bool = False) -> EngineConfig:
+    def _config(
+        self, engine: str, record: bool = False, churn=None
+    ) -> EngineConfig:
         return EngineConfig(
             collision_rule=self.rule,
             start_mode=StartMode(self.settings.start_mode),
@@ -193,6 +203,18 @@ class EvaluationContext:
             seed=self.settings.derived_seed,
             record_receptions=record,
             engine=engine,
+            churn=churn,
+        )
+
+    def _churn_for(self, genome: StrategyGenome):
+        """The genome's compiled churn schedule, or ``None``.
+
+        Gene-free genomes (every genome when ``churn_genes`` is off)
+        compile to ``None``, so the evaluation is byte-identical to the
+        pre-churn code path.  The cell's source is always protected.
+        """
+        return genome.churn_schedule(
+            self.graph.n, protect=(self.graph.source,)
         )
 
     def _route_engine(self, adversary) -> str:
@@ -223,7 +245,11 @@ class EvaluationContext:
             self.graph,
             processes,
             adversary,
-            self._config(engine, record=record_receptions),
+            self._config(
+                engine,
+                record=record_receptions,
+                churn=self._churn_for(genome),
+            ),
             topology=self.topology,
         )
         return eng.run(), engine
@@ -263,7 +289,10 @@ class EvaluationContext:
                     for _ in block
                 ],
                 [genome.build_adversary() for genome in block],
-                [self._config("vector") for _ in block],
+                [
+                    self._config("vector", churn=self._churn_for(genome))
+                    for genome in block
+                ],
                 topology=self.topology,
             )
             scores.extend(
@@ -324,7 +353,10 @@ def verify_replay(
         ctx.graph,
         processes,
         ReplayAdversary(trace, strict=True),
-        ctx._config("reference"),
+        # The replay must run under the same churn schedule — crashes
+        # are engine state, not adversary behaviour, so the replay
+        # adversary alone cannot reproduce them.
+        ctx._config("reference", churn=ctx._churn_for(genome)),
         topology=ctx.topology,
     )
     replay = replay_engine.run()

@@ -57,7 +57,8 @@ def make_space(
 
     The horizon defaults to the cell's round cap (every round the
     engine can execute gets a delivery gene slot); CR4 resolution genes
-    default to on exactly under CR4 — the only rule where they exist.
+    default to on exactly under CR4 — the only rule where they exist;
+    crash genes follow ``settings.churn_genes``.
     """
     graph = build_graph(
         settings.graph_kind,
@@ -75,7 +76,12 @@ def make_space(
         cr4_genes = (
             CollisionRule[settings.collision_rule] is CollisionRule.CR4
         )
-    return GenomeSpace(graph, horizon=horizon, cr4_genes=cr4_genes)
+    return GenomeSpace(
+        graph,
+        horizon=horizon,
+        cr4_genes=cr4_genes,
+        churn_genes=settings.churn_genes,
+    )
 
 
 def run_search(

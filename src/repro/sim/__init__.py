@@ -16,6 +16,11 @@ from repro.sim.fast_engine import (
     fast_engine_eligible,
     mask_engine_eligible,
 )
+from repro.sim.faults import (
+    ChurnSchedule,
+    generate_churn,
+    window_churn,
+)
 
 #: Names re-exported lazily from :mod:`repro.sim.vector_engine` (PEP
 #: 562): importing that module imports NumPy, which reference/fast-only
@@ -60,6 +65,7 @@ from repro.sim.validation import validate_execution
 __all__ = [
     "BroadcastEngine",
     "COLLISION",
+    "ChurnSchedule",
     "CollisionRule",
     "CompiledTopology",
     "ENGINE_NAMES",
@@ -80,6 +86,7 @@ __all__ = [
     "build_engine",
     "compile_topology",
     "fast_engine_eligible",
+    "generate_churn",
     "load_trace",
     "mask_engine_eligible",
     "run_lockstep",
@@ -91,4 +98,5 @@ __all__ = [
     "trace_from_json",
     "trace_to_json",
     "validate_execution",
+    "window_churn",
 ]

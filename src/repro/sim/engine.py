@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 import random
-from bisect import insort
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 from repro.adversaries.base import Adversary, AdversaryView, NoDeliveryAdversary
 from repro.graphs.dualgraph import DualGraph
 from repro.sim.collision import CollisionRule, resolve_reception
+from repro.sim.faults import ChurnSchedule
 from repro.sim.messages import Message, Reception, SILENCE
 from repro.sim.process import Process, ProcessContext
 from repro.sim.trace import ExecutionTrace, RoundRecord
@@ -90,6 +91,10 @@ class EngineConfig:
             produce bit-identical traces — see
             ``tests/test_fast_engine_equivalence.py`` and
             ``tests/test_engine_fuzz.py``.
+        churn: Optional :class:`~repro.sim.faults.ChurnSchedule` of
+            crash/recovery fault-injection events, applied identically
+            by every engine at the top of each round (before send
+            decisions).  ``None`` (the default) runs failure-free.
     """
 
     collision_rule: CollisionRule = CollisionRule.CR4
@@ -99,6 +104,7 @@ class EngineConfig:
     stop_when_informed: bool = True
     record_receptions: bool = False
     engine: str = "reference"
+    churn: Optional[ChurnSchedule] = None
 
 
 class BroadcastEngine:
@@ -210,16 +216,42 @@ class BroadcastEngine:
         self._active_sorted: List[int] = []
         self._active_view: FrozenSet[int] = frozenset()
         self._active_dirty = False
+        # Fault injection (config.churn): currently-crashed nodes plus
+        # the was-it-active-at-crash memory the "informed" rejoin
+        # policy needs to resume a node where it stopped.
+        self._crashed: set = set()
+        self._crashed_view: FrozenSet[int] = frozenset()
+        self._crashed_dirty = False
+        self._crash_was_active: Dict[int, bool] = {}
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def _activate(self, node: int) -> None:
-        if node in self._active:
-            return
+    def _insert_active(self, node: int) -> None:
+        """Add ``node`` to the active set (bookkeeping only, no hook).
+
+        Subclasses extend this (and :meth:`_deactivate`) to keep their
+        own active-set representations — the fast engine's bitmask, the
+        vector engine's boolean row — in sync with the base sets.
+        """
         self._active.add(node)
         insort(self._active_sorted, node)
         self._active_dirty = True
+
+    def _deactivate(self, node: int) -> None:
+        """Remove ``node`` from the active set (no process hook runs)."""
+        self._active.discard(node)
+        idx = bisect_left(self._active_sorted, node)
+        if idx < len(self._active_sorted) and (
+            self._active_sorted[idx] == node
+        ):
+            del self._active_sorted[idx]
+        self._active_dirty = True
+
+    def _activate(self, node: int) -> None:
+        if node in self._active:
+            return
+        self._insert_active(node)
         self.process_at[node].on_activate(self._contexts[node])
 
     def _mark_informed(self, node: int, round_number: int) -> None:
@@ -227,7 +259,74 @@ class BroadcastEngine:
         self._informed_set.add(node)
         self._informed_dirty = True
 
+    # ------------------------------------------------------------------
+    # Fault injection (config.churn)
+    # ------------------------------------------------------------------
+    def _crash_node(self, node: int) -> None:
+        """Take ``node`` down: no sends, no receptions, no progress.
+
+        Under the ``"uninformed"`` rejoin policy the crash also wipes
+        volatile state — payload custody is revoked (the trace's
+        ``informed_round`` entry reverts to ``None``) so completion
+        stays honest: a run only completes while every node actually
+        holds the payload.
+        """
+        was_active = node in self._active
+        self._crash_was_active[node] = was_active
+        if was_active:
+            self._deactivate(node)
+        self._crashed.add(node)
+        self._crashed_dirty = True
+        churn = self.config.churn
+        if churn is not None and churn.rejoin == "uninformed":
+            if node in self._informed_set:
+                self._informed_set.discard(node)
+                self._informed_dirty = True
+                self.trace.informed_round[node] = None
+            self.process_at[node].on_crash()
+
+    def _recover_node(self, node: int, rnd: int) -> None:
+        """Bring ``node`` back up at the top of round ``rnd``.
+
+        ``"informed"`` rejoin resumes a node that was active at crash
+        time exactly where it stopped (no re-activation hook); every
+        other case is a fresh join — activated immediately under
+        synchronous start, or left asleep until a message wakes it
+        under asynchronous start (the model's normal wake rule).
+        """
+        self._crashed.discard(node)
+        self._crashed_dirty = True
+        was_active = self._crash_was_active.pop(node, False)
+        churn = self.config.churn
+        if churn is not None and churn.rejoin == "informed" and was_active:
+            self._insert_active(node)
+        elif self.config.start_mode is StartMode.SYNCHRONOUS:
+            # on_activate must observe the recovery round on every
+            # engine; phase 1 has not advanced the contexts yet.
+            self._contexts[node].round_number = rnd
+            self._activate(node)
+
+    def _apply_churn(self, rnd: int):
+        """Apply round ``rnd``'s schedule events; returns the tuples
+        recorded in the round's :class:`~repro.sim.trace.RoundRecord`
+        (crashes before recoveries, matching schedule validation)."""
+        churn = self.config.churn
+        if churn is None:
+            return (), ()
+        crashed = churn.crashes.get(rnd, ())
+        for node in crashed:
+            self._crash_node(node)
+        recovered = churn.recoveries.get(rnd, ())
+        for node in recovered:
+            self._recover_node(node, rnd)
+        return crashed, recovered
+
     def _setup(self) -> None:
+        churn = self.config.churn
+        if churn is not None:
+            churn.validate_for(self.network)
+            for node in churn.initial_down:
+                self._crash_node(node)
         source = self.network.source
         source_proc = self.process_at[source]
         source_proc.on_broadcast_input(
@@ -236,7 +335,8 @@ class BroadcastEngine:
         self._mark_informed(source, 0)
         if self.config.start_mode is StartMode.SYNCHRONOUS:
             for node in self.network.nodes:
-                self._activate(node)
+                if node not in self._crashed:
+                    self._activate(node)
         else:
             # The environment input activates the source.
             self._activate(source)
@@ -256,6 +356,12 @@ class BroadcastEngine:
             self._active_view = frozenset(self._active)
             self._active_dirty = False
         return self._active_view
+
+    def _crashed_nodes(self) -> FrozenSet[int]:
+        if self._crashed_dirty:
+            self._crashed_view = frozenset(self._crashed)
+            self._crashed_dirty = False
+        return self._crashed_view
 
     def _decide_senders(self, rnd: int) -> Dict[int, Message]:
         """Phase 1: advance every context and collect the round's senders.
@@ -289,6 +395,7 @@ class BroadcastEngine:
             informed=self._informed_nodes(),
             active=self._active_nodes(),
             proc=self.proc_map,
+            crashed=self._crashed_nodes(),
         )
 
     def _validated_deliveries(
@@ -322,6 +429,7 @@ class BroadcastEngine:
         network = self.network
         recording = self.config.record_receptions
 
+        crashed_now, recovered_now = self._apply_churn(rnd)
         senders = self._decide_senders(rnd)
         view = self._adversary_view(rnd, senders)
         deliveries = self._validated_deliveries(view, senders)
@@ -361,7 +469,15 @@ class BroadcastEngine:
         )
         informed_round = self.trace.informed_round
         rule = self.config.collision_rule
+        crashed_set = self._crashed
         for node in candidates:
+            if node in crashed_set:
+                # A crashed radio hears nothing and is never consulted
+                # for — arrivals at its position dissolve (recorded as
+                # silence), and no message can wake it.
+                if receptions is not None:
+                    receptions[node] = SILENCE
+                continue
             own_message = senders.get(node)
             node_arrivals = arrivals.get(node, no_arrivals)
             if own_message is None and not node_arrivals:
@@ -400,6 +516,8 @@ class BroadcastEngine:
             newly_informed=tuple(newly_informed),
             newly_active=tuple(newly_active),
             receptions=receptions,
+            crashed=crashed_now,
+            recovered=recovered_now,
         )
         self.trace.rounds.append(record)
         return record

@@ -268,9 +268,11 @@ class FastBroadcastEngine(BroadcastEngine):
             for v in network.nodes
             if _observes_non_messages(self.process_at[v])
         )
-        # Maintained by the _activate override; construction precedes
-        # _setup(), so no node is active yet.
+        # Maintained by the _insert_active/_deactivate overrides;
+        # construction precedes _setup(), so no node is active yet.
         self._active_mask = 0
+        # Crashed-node bitmask, maintained by the churn overrides.
+        self._crashed_mask = 0
         # (node, process, context) for each active node, ascending node
         # order; rebuilt lazily after activations.
         self._triples: List[Tuple[int, Process, ProcessContext]] = []
@@ -281,12 +283,23 @@ class FastBroadcastEngine(BroadcastEngine):
             type(self.adversary).resolve_cr4 is Adversary.resolve_cr4
         )
 
-    def _activate(self, node: int) -> None:
-        if node in self._active:
-            return
+    def _insert_active(self, node: int) -> None:
         self._active_mask |= self._bit[node]
         self._triples_dirty = True
-        super()._activate(node)
+        super()._insert_active(node)
+
+    def _deactivate(self, node: int) -> None:
+        self._active_mask &= ~self._bit[node]
+        self._triples_dirty = True
+        super()._deactivate(node)
+
+    def _crash_node(self, node: int) -> None:
+        super()._crash_node(node)
+        self._crashed_mask |= self._bit[node]
+
+    def _recover_node(self, node: int, rnd: int) -> None:
+        super()._recover_node(node, rnd)
+        self._crashed_mask &= ~self._bit[node]
 
     def _deliver(
         self, node: int, process: Process, reception: Reception
@@ -321,6 +334,9 @@ class FastBroadcastEngine(BroadcastEngine):
         bit = self._bit
         reach_mask = self._reach_mask
         contexts = self._contexts
+
+        crashed_now, recovered_now = self._apply_churn(rnd)
+        crashed_mask = self._crashed_mask
 
         # Phase 1: decisions.  Only active contexts advance here; a
         # sleeping process's context is observed solely at wake-up, so
@@ -403,7 +419,12 @@ class FastBroadcastEngine(BroadcastEngine):
             pending = 0
             candidates = iter(network.nodes)  # every reception is recorded
         else:
-            pending = reached_once | (active_mask & observer_mask)
+            # Crashed radios hear nothing: their positions never need a
+            # visit (they cannot be active, so the observer term is
+            # already clear of them).
+            pending = (
+                reached_once | (active_mask & observer_mask)
+            ) & ~crashed_mask
             candidates = None
 
         while True:
@@ -419,6 +440,12 @@ class FastBroadcastEngine(BroadcastEngine):
                 pending ^= low
 
             b = bit[node]
+            if crashed_mask & b:
+                # Crashed radio: arrivals dissolve, recorded as silence,
+                # never consulted for, never woken (reference parity).
+                if receptions is not None:
+                    receptions[node] = SILENCE
+                continue
             if not reached_once & b:
                 # Nothing reached the node (so it cannot have sent:
                 # senders always reach themselves) — silence under
@@ -486,6 +513,8 @@ class FastBroadcastEngine(BroadcastEngine):
             newly_informed=tuple(newly_informed),
             newly_active=tuple(newly_active),
             receptions=receptions,
+            crashed=crashed_now,
+            recovered=recovered_now,
         )
         self.trace.rounds.append(record)
         return record

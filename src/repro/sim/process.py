@@ -126,6 +126,21 @@ class Process(abc.ABC):
         """
         self._activation_round = ctx.round_number
 
+    def on_crash(self) -> None:
+        """Wipe volatile broadcast state (fault injection, uninformed rejoin).
+
+        Invoked by the engine when the node this process occupies
+        crashes under a :class:`~repro.sim.faults.ChurnSchedule` with
+        the ``"uninformed"`` rejoin policy: payload custody is lost, so
+        the process must be informed again after recovery.  Subclasses
+        with additional volatile state may extend this (calling
+        ``super().on_crash()``); under the ``"informed"`` policy the
+        engine never calls it.
+        """
+        self._has_message = False
+        self._message = None
+        self._first_message_round = None
+
     def deliver(self, ctx: ProcessContext, reception: Reception) -> None:
         """Engine entry point: record message custody, then dispatch.
 

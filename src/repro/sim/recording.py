@@ -80,6 +80,13 @@ def trace_to_json(trace: ExecutionTrace) -> str:
                 str(v): _reception_to_json(r)
                 for v, r in rec.receptions.items()
             }
+        # Fault-injection events are emitted only when present, so
+        # failure-free traces stay byte-identical to earlier versions
+        # (and FORMAT_VERSION holds).
+        if rec.crashed:
+            doc["crashed"] = list(rec.crashed)
+        if rec.recovered:
+            doc["recovered"] = list(rec.recovered)
         rounds.append(doc)
     return json.dumps(
         {
@@ -135,6 +142,8 @@ def trace_from_json(text: str) -> ExecutionTrace:
                 newly_informed=tuple(rec_doc["newly_informed"]),
                 newly_active=tuple(rec_doc["newly_active"]),
                 receptions=receptions,
+                crashed=tuple(rec_doc.get("crashed", ())),
+                recovered=tuple(rec_doc.get("recovered", ())),
             )
         )
     return trace

@@ -35,6 +35,10 @@ class RoundRecord:
             start only; empty under synchronous start).
         receptions: Per-node observations; populated only when the engine
             records detailed traces.
+        crashed: Nodes taken down by fault injection at the top of this
+            round (empty in failure-free runs).
+        recovered: Nodes brought back up by fault injection at the top
+            of this round (empty in failure-free runs).
     """
 
     round_number: int
@@ -43,6 +47,8 @@ class RoundRecord:
     newly_informed: Tuple[int, ...]
     newly_active: Tuple[int, ...]
     receptions: Optional[Mapping[int, Reception]] = None
+    crashed: Tuple[int, ...] = ()
+    recovered: Tuple[int, ...] = ()
 
     @property
     def num_senders(self) -> int:
@@ -137,7 +143,7 @@ class ExecutionTrace:
     # ------------------------------------------------------------------
     def summary(self) -> Dict:
         """A compact JSON-serialisable summary of the execution."""
-        return {
+        doc = {
             "network": self.network_name,
             "n": self.n,
             "rounds": self.num_rounds,
@@ -146,6 +152,14 @@ class ExecutionTrace:
             "isolation_rounds": len(self.isolation_rounds()),
             "total_transmissions": sum(self.sender_counts()),
         }
+        # Emitted only when fault injection actually fired, so
+        # failure-free summaries keep their exact pre-churn form.
+        crash_events = sum(len(r.crashed) for r in self.rounds)
+        recovery_events = sum(len(r.recovered) for r in self.rounds)
+        if crash_events or recovery_events:
+            doc["crash_events"] = crash_events
+            doc["recovery_events"] = recovery_events
+        return doc
 
     def to_json(self) -> str:
         """Serialise the summary to JSON."""

@@ -207,8 +207,10 @@ class VectorBroadcastEngine(FastBroadcastEngine):
             topology = compile_topology(self.network)
         self._np_reach = _select_reach(topology, sparse_reach)
         # Boolean row views of the incrementally maintained node sets;
-        # _activate keeps the active row current.
+        # the _insert_active/_deactivate and churn overrides keep the
+        # rows current.
         self._active_row = _np.zeros(n, dtype=bool)
+        self._crashed_row = _np.zeros(n, dtype=bool)
         observer_row = _np.zeros(n, dtype=bool)
         mask = self._observer_mask
         while mask:
@@ -217,11 +219,21 @@ class VectorBroadcastEngine(FastBroadcastEngine):
             mask ^= low
         self._observer_row = observer_row
 
-    def _activate(self, node: int) -> None:
-        if node in self._active:
-            return
+    def _insert_active(self, node: int) -> None:
         self._active_row[node] = True
-        super()._activate(node)
+        super()._insert_active(node)
+
+    def _deactivate(self, node: int) -> None:
+        self._active_row[node] = False
+        super()._deactivate(node)
+
+    def _crash_node(self, node: int) -> None:
+        super()._crash_node(node)
+        self._crashed_row[node] = True
+
+    def _recover_node(self, node: int, rnd: int) -> None:
+        super()._recover_node(node, rnd)
+        self._crashed_row[node] = False
 
     def _step(self) -> RoundRecord:
         _lockstep_round([self])
@@ -268,10 +280,14 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
     # Sender positions are collected as flat (lane, node) coordinate
     # lists — proportional to the senders, never to ``lanes × n``.
     lane_senders: List[Dict[int, Message]] = []
+    lane_churn: List[tuple] = []
     srows: List[int] = []
     snodes: List[int] = []
     for i, lane in enumerate(lanes):
         lane._round = rnd
+        # Fault injection applies before any send decision, exactly as
+        # in the scalar engines' _step.
+        lane_churn.append(lane._apply_churn(rnd))
         senders = _decide_lane_senders(lane, rnd)
         lane_senders.append(senders)
         if senders:
@@ -363,6 +379,13 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
     cat[counts == 1] = _CAT_UNIQUE
     if snode_arr is not None and rule is not CollisionRule.CR1:
         cat[srows, snode_arr] = _CAT_OWN
+    # Crashed radios hear nothing: zero their positions before the CR4
+    # consult sweep so the adversary is never consulted for them
+    # (reference parity — stateful resolvers must see identical call
+    # sequences) and the phase-4 visit set skips them.
+    for i, lane in enumerate(lanes):
+        if lane._crashed:
+            cat[i][lane._crashed_row] = 0
 
     # Phase 3b: batched CR4 consultation.  Every consult position left
     # in the category matrix (senders were just overridden to hear
@@ -508,6 +531,7 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
                     newly_informed.append(node)
 
     for i, lane in enumerate(lanes):
+        crashed_now, recovered_now = lane_churn[i]
         lane.trace.rounds.append(
             RoundRecord(
                 round_number=rnd,
@@ -516,6 +540,8 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
                 newly_informed=tuple(lane_newly_informed[i]),
                 newly_active=tuple(lane_newly_active[i]),
                 receptions=lane_receptions[i],
+                crashed=crashed_now,
+                recovered=recovered_now,
             )
         )
 

@@ -1,0 +1,13 @@
+"""RPR007 failing fixture: literal-seeded fault streams."""
+
+import random
+
+
+def pinned_schedule(n):
+    rng = random.Random(42)
+    return [v for v in range(n) if rng.random() < 0.1]
+
+
+def pinned_string_namespace(n):
+    rng = random.Random("churn")
+    return [v for v in range(n) if rng.random() < 0.1]

@@ -1,0 +1,13 @@
+"""RPR007 passing fixture: run-derived namespaced fault seeds."""
+
+import random
+
+
+def keyed_schedule(n, seed):
+    rng = random.Random(f"churn:{seed}")
+    return [v for v in range(n) if rng.random() < 0.1]
+
+
+def arithmetic_derivation(n, seed):
+    rng = random.Random(seed * 2 + 1)
+    return [v for v in range(n) if rng.random() < 0.1]

@@ -43,6 +43,7 @@ class TestRulePack:
             ("RPR004", 2),
             ("RPR005", 3),
             ("RPR006", 1),
+            ("RPR007", 2),
         ],
     )
     def test_fail_fixture_flags_only_its_rule(self, code, count):
@@ -54,7 +55,8 @@ class TestRulePack:
 
     @pytest.mark.parametrize(
         "code",
-        ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"],
+        ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+         "RPR007"],
     )
     def test_pass_fixture_is_clean(self, code):
         findings, _ = check_file(FIXTURES / f"{code.lower()}_pass.py")
@@ -110,6 +112,23 @@ class TestScoping:
             tmp_path / "repro" / "analysis" / "mod.py"
         )
         assert codes(flagged) == ["RPR005"]
+        assert silent == []
+
+    def test_rpr007_only_holds_fault_modules(self, tmp_path):
+        # A literal-seeded stream is legal in other sim modules (RPR001
+        # ignores seeded Random construction); only faults.py is held
+        # to run-derived fault seeds.
+        for name in ("faults.py", "engine.py"):
+            target = tmp_path / "repro" / "sim"
+            target.mkdir(parents=True, exist_ok=True)
+            (target / name).write_text(
+                "import random\n"
+                "def f():\n"
+                "    return random.Random(7).random()\n"
+            )
+        flagged, _ = check_file(tmp_path / "repro" / "sim" / "faults.py")
+        silent, _ = check_file(tmp_path / "repro" / "sim" / "engine.py")
+        assert codes(flagged) == ["RPR007"]
         assert silent == []
 
     def test_unscoped_rule_applies_everywhere(self, tmp_path):
@@ -224,6 +243,7 @@ class TestRegistry:
     def test_rule_codes_cover_the_pack(self):
         assert list(rule_codes()) == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007",
         ]
 
     def test_catalogue_documents_every_code(self):

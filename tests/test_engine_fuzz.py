@@ -44,6 +44,7 @@ from repro.experiments.registry import build_adversary, build_graph
 from repro.graphs.dualgraph import DualGraph
 from repro.search import GenomeSpace
 from repro.sim import (
+    ChurnSchedule,
     CollisionRule,
     EngineConfig,
     StartMode,
@@ -52,6 +53,7 @@ from repro.sim import (
     trace_to_json,
     validate_execution,
 )
+from repro.sim.faults import REJOIN_POLICIES
 
 pytestmark = pytest.mark.fuzz
 
@@ -133,8 +135,49 @@ def dual_graphs(draw, n=None):
     )
 
 
+@st.composite
+def churned_graphs(draw):
+    """A fuzz graph plus a random legal churn schedule for it.
+
+    Per non-source node one of three fates is drawn: untouched, late
+    join (down from the start, maybe recovering), or an up/down episode
+    (crash, maybe recover later).  Built this way the event sequence is
+    legal by construction — at most one crash per node, recoveries only
+    while down — so the composite never trips ``ChurnSchedule``'s own
+    state-machine validation.
+    """
+    graph = draw(dual_graphs())
+    crashes = {}
+    recoveries = {}
+    initial_down = []
+    for v in range(graph.n):
+        if v == 0:  # fuzz graphs use source 0; it must not start down
+            continue
+        fate = draw(st.sampled_from(("none", "none", "late", "updown")))
+        if fate == "none":
+            continue
+        if fate == "late":
+            initial_down.append(v)
+            if draw(st.booleans()):
+                rnd = draw(st.integers(min_value=1, max_value=12))
+                recoveries.setdefault(rnd, []).append(v)
+        else:
+            crash = draw(st.integers(min_value=1, max_value=10))
+            crashes.setdefault(crash, []).append(v)
+            if draw(st.booleans()):
+                back = crash + draw(st.integers(min_value=1, max_value=6))
+                recoveries.setdefault(back, []).append(v)
+    churn = ChurnSchedule(
+        crashes={r: tuple(vs) for r, vs in crashes.items()},
+        recoveries={r: tuple(vs) for r, vs in recoveries.items()},
+        initial_down=tuple(initial_down),
+        rejoin=draw(st.sampled_from(REJOIN_POLICIES)),
+    )
+    return graph, churn
+
+
 def run_one(engine, graph, algorithm, adversary_kind, rule, start_mode,
-            seed, max_rounds, record):
+            seed, max_rounds, record, churn=None):
     processes = make_processes(algorithm, graph.n)
     adversary = make_fuzz_adversary(adversary_kind, seed, graph, max_rounds)
     config = EngineConfig(
@@ -144,6 +187,7 @@ def run_one(engine, graph, algorithm, adversary_kind, rule, start_mode,
         seed=seed,
         record_receptions=record,
         engine=engine,
+        churn=churn,
     )
     return build_engine(graph, processes, adversary, config).run()
 
@@ -175,6 +219,40 @@ def test_engines_agree_and_pass_validation(
     assert serialized["vector"] == serialized["reference"]
     # One validation suffices: the traces are byte-identical.
     assert validate_execution(reference, graph, rule, start_mode) == []
+
+
+@given(
+    graph_and_churn=churned_graphs(),
+    algorithm=st.sampled_from(ALGORITHMS),
+    adversary_kind=st.sampled_from(ADVERSARIES),
+    rule=st.sampled_from(list(CollisionRule)),
+    start_mode=st.sampled_from(list(StartMode)),
+    seed=st.integers(min_value=0, max_value=2**16),
+    max_rounds=st.integers(min_value=0, max_value=40),
+)
+def test_engines_agree_under_churn(
+    graph_and_churn, algorithm, adversary_kind, rule, start_mode, seed,
+    max_rounds,
+):
+    """Fault injection preserves the determinism contract: the three
+    engines stay byte-identical under random crash/recovery/late-join
+    schedules, and the churn-aware validator accepts the trace."""
+    graph, churn = graph_and_churn
+    serialized = {}
+    reference = None
+    for engine in ("reference", "fast", "vector"):
+        trace = run_one(
+            engine, graph, algorithm, adversary_kind, rule,
+            start_mode, seed, max_rounds, record=True, churn=churn,
+        )
+        serialized[engine] = trace_to_json(trace)
+        if engine == "reference":
+            reference = trace
+    assert serialized["fast"] == serialized["reference"]
+    assert serialized["vector"] == serialized["reference"]
+    assert validate_execution(
+        reference, graph, rule, start_mode, churn=churn
+    ) == []
 
 
 @given(

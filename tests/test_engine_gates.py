@@ -89,7 +89,7 @@ class TestSharedTruthTable:
 
 def _one_cell_spec(engine, seeds, collision_rule="CR4",
                    adversary="none", n=8, max_rounds=None,
-                   graph_kind="line"):
+                   graph_kind="line", churns=("none",)):
     if adversary == "pivot":  # PivotAdversary needs its n threaded
         adversary = ("pivot", {"n": n})
     return ExperimentSpec(
@@ -99,6 +99,7 @@ def _one_cell_spec(engine, seeds, collision_rule="CR4",
         adversaries=[adversary],
         collision_rules=[collision_rule],
         engines=[engine],
+        churns=churns,
         seeds=seeds,
         max_rounds=max_rounds,
     )
@@ -199,6 +200,67 @@ class TestSweepRouting:
         ).tasks()[0]
         record = execute_task(task)
         assert record.engine == "reference"
+
+
+#: The registered fault-injection kinds, each with parameters that
+#: actually take nodes down within the gates cell's horizon.
+CHURN_ROWS = [
+    ("rate", {"crash_rate": 0.1, "recover_rate": 0.3}),
+    ("rate", {"crash_rate": 0.1, "recover_rate": 0.3,
+              "rejoin": "informed"}),
+    ("window", {"count": 2, "start": 2, "length": 3}),
+]
+
+
+class TestChurnRouting:
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    @pytest.mark.parametrize("kind,params", CHURN_ROWS)
+    def test_churn_cell_matches_reference(self, engine, kind, params):
+        """Fault-injected cells run on the requested mask engine and
+        reproduce the reference science, and records carry the churn
+        kind as an axis value."""
+        task = _one_cell_spec(
+            engine, [0], collision_rule="CR2", adversary="greedy",
+            churns=[(kind, params)],
+        ).tasks()[0]
+        record = execute_task(task)
+        assert record.engine == engine
+        assert record.churn_kind == kind
+        ref = execute_task(
+            _one_cell_spec(
+                "reference", [0], collision_rule="CR2",
+                adversary="greedy", churns=[(kind, params)],
+            ).tasks()[0]
+        )
+        assert record.completion_round == ref.completion_round
+        assert record.total_transmissions == ref.total_transmissions
+
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    @pytest.mark.parametrize("kind,params", CHURN_ROWS)
+    def test_churn_batch_matches_per_task(self, engine, kind, params):
+        """The batched (lockstep) path applies each lane's own churn
+        schedule: batch records equal per-task records under every
+        registered kind."""
+        spec = _one_cell_spec(
+            engine, range(3), collision_rule="CR2", adversary="greedy",
+            churns=[(kind, params)],
+        )
+        (batch,) = plan_batches(spec.tasks())
+        records = execute_batch(batch)
+        assert [r.churn_kind for r in records] == [kind] * 3
+        assert records == [execute_task(t) for t in batch.tasks]
+
+    def test_churn_axis_distinguishes_tasks(self):
+        """Two churn entries of one spec yield distinct task keys, and
+        the failure-free entry keeps its pre-churn key spelling."""
+        spec = _one_cell_spec(
+            "fast", [0],
+            churns=["none", ("window", {"count": 1, "start": 2,
+                                        "length": 2})],
+        )
+        keys = [t.key for t in spec.tasks()]
+        assert len(set(keys)) == 2
+        assert not any("churn" in k for k in keys if "window" not in k)
 
 
 class TestEdgeCases:
