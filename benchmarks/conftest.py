@@ -15,6 +15,7 @@ Run with::
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
 import os
 import sys
 
@@ -22,6 +23,7 @@ import pytest
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 _RESULTS_FILE = os.path.join(_RESULTS_DIR, "benchmark_tables.txt")
+_MANIFEST_FILE = os.path.join(_RESULTS_DIR, "benchmark_manifest.json")
 
 
 def pytest_sessionstart(session):
@@ -29,6 +31,22 @@ def pytest_sessionstart(session):
     # Truncate per session so the artifact reflects one coherent run.
     with open(_RESULTS_FILE, "w", encoding="utf-8") as f:
         f.write("")
+    # Capture the environment the numbers came from: a speedup table
+    # without the cpu count / python version behind it is not
+    # comparable across runs.
+    try:
+        from repro.obs import environment_metadata
+
+        with open(_MANIFEST_FILE, "w", encoding="utf-8") as f:
+            json.dump(
+                {"v": 1, "environment": environment_metadata()},
+                f,
+                indent=2,
+                sort_keys=True,
+            )
+            f.write("\n")
+    except (OSError, ImportError):
+        pass  # artifact writing must never fail a bench
 
 
 def emit(text: str) -> None:

@@ -11,9 +11,8 @@ only probe dynamically into a diff-time static check:
   handler.
 * **RPR003** — engine/search/store paths must not read wall clocks or
   OS entropy (``time.time``, ``datetime.now``, ``os.urandom``,
-  ``uuid``, ``secrets`` …); ``time.perf_counter``/``monotonic`` stay
-  legal for elapsed-time reporting because no trace byte derives from
-  them.
+  ``uuid``, ``secrets`` …); elapsed-time measurement is RPR008's
+  domain.
 * **RPR004** — iterating a set where order can reach trace state must
   go through an explicit ``sorted(...)``.
 * **RPR005** — trace-critical modules never compare floats with
@@ -23,6 +22,10 @@ only probe dynamically into a diff-time static check:
 * **RPR007** — fault-injection modules never seed their streams with
   bare constants: a literal seed makes every churn schedule identical
   across runs, silently collapsing a sweep's fault axis.
+* **RPR008** — wall-clock timing (``time.perf_counter``/``monotonic``)
+  is confined to ``repro.obs`` (and the out-of-package ``benchmarks/``
+  tree); every other layer measures through
+  :class:`repro.obs.Stopwatch` or a telemetry span.
 
 The catalogue with the full contract text and fixes is rendered by
 ``repro check --list-rules`` and mirrored in docs/CHECKS.md.
@@ -193,9 +196,9 @@ class WallClockEntropy(ContractRule):
         "persist from (spec, seed) keys. Wall-clock reads "
         "(time.time, datetime.now) and entropy sources (os.urandom, "
         "uuid, secrets, random.SystemRandom) would leak "
-        "run-to-run-varying values into records. "
-        "time.perf_counter/monotonic remain legal: elapsed-time "
-        "reporting never feeds trace state."
+        "run-to-run-varying values into records. Elapsed-time "
+        "measurement goes through repro.obs (Stopwatch, spans), whose "
+        "perf_counter use RPR008 polices."
     )
     fix = (
         "Derive identifiers and decisions from the task key; keep "
@@ -445,3 +448,56 @@ class ConstantFaultSeed(ContractRule):
                     '(random.Random(f"churn:{seed}"))',
                 )
                 return
+
+
+#: Wall-clock timer reads confined to the observability layer.
+_WALL_TIMERS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
+
+
+@register_rule
+class UncontainedTimer(ContractRule):
+    """RPR008: wall-clock timing lives in repro.obs (and benchmarks)."""
+
+    code = "RPR008"
+    name = "uncontained-timer"
+    contract = (
+        "Elapsed-time measurement (time.perf_counter/monotonic and "
+        "their _ns forms) is confined to the observability layer "
+        "(repro.obs) and the benchmarks/ tree, so the determinism "
+        "audit has exactly one in-package surface where clocks are "
+        "read. Every other layer measures through repro.obs.Stopwatch "
+        "or a telemetry span()."
+    )
+    fix = (
+        "Replace the perf_counter pair with repro.obs.Stopwatch "
+        "(watch = Stopwatch(); watch.elapsed()) or wrap the phase in "
+        "a telemetry span."
+    )
+    scopes: Optional[Tuple[str, ...]] = None
+    interests: Tuple[type, ...] = (ast.Call,)
+
+    def applies_to(self, scope: Optional[str]) -> bool:
+        """Every scope except the observability layer itself."""
+        return scope != "obs"
+
+    def inspect(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Finding]:
+        """Flag direct wall-clock timer calls outside ``repro.obs``."""
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved in _WALL_TIMERS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{resolved}() outside repro.obs scatters the "
+                "timing surface; measure through "
+                "repro.obs.Stopwatch or a telemetry span",
+            )

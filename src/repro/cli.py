@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -231,6 +232,24 @@ def cmd_sweep(args) -> int:
             f"{args.adversary}, seeds={[int(s) for s in args.seeds.split(',')]}"
         )
 
+    sink = None
+    if args.events:
+        if not args.results:
+            raise SystemExit(
+                "--events requires --results: the events.jsonl stream "
+                "lives beside the campaign store"
+            )
+        from repro.obs import JsonlTelemetry, events_path
+        from repro.store import detect_backend
+
+        # A directory-shaped campaign keeps its stream *inside* the
+        # directory; create it up front so events_path resolves the
+        # directory form even on a campaign's very first sweep.
+        backend = _store_backend(args) or detect_backend(args.results)
+        if backend in ("sharded", "columnar"):
+            os.makedirs(args.results, exist_ok=True)
+        sink = JsonlTelemetry(events_path(args.results))
+
     try:
         runner = SweepRunner(
             specs,
@@ -240,7 +259,17 @@ def cmd_sweep(args) -> int:
             store=_store_backend(args),
             flush_every=args.flush_every,
         )
-        result = runner.run()
+        if sink is not None:
+            from repro.obs import merge_event_files, use
+
+            try:
+                with use(sink):
+                    result = runner.run()
+            finally:
+                sink.close()
+                merge_event_files(args.results)
+        else:
+            result = runner.run()
     except (ValueError, ImportError) as exc:
         # Bad worker counts, unknown graph/adversary kinds, duplicate
         # task keys, campaign fingerprint mismatches, a missing NumPy
@@ -269,6 +298,19 @@ def cmd_list(args) -> int:
     """Print every registered kind with its one-line description."""
     from repro.search import searcher_descriptions
 
+    if args.json:
+        doc = {
+            "graphs": graph_descriptions(),
+            "adversaries": adversary_descriptions(),
+            "churns": churn_descriptions(),
+            "algorithms": {
+                name: _ALGORITHM_DESCRIPTIONS.get(name, "")
+                for name in algorithm_names()
+            },
+            "searchers": searcher_descriptions(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     sections = [
         ("graph kinds", graph_descriptions()),
         ("adversary kinds", adversary_descriptions()),
@@ -431,10 +473,25 @@ def cmd_report(args) -> int:
     except (OSError, ValueError, ImportError) as exc:
         raise SystemExit(str(exc))
     _warn_health(store.health, args.results, "record")
+    # Perf panel: present only when the campaign ran with --events (a
+    # missing stream is a normal state, not an error).
+    from repro.obs import events_path, perf_summary, render_perf_panel
+
+    perf = (
+        perf_summary(args.results)
+        if events_path(args.results).exists()
+        else None
+    )
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        doc = report.to_dict()
+        if perf is not None:
+            doc["perf"] = perf
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(report.render(title=f"campaign {args.results}"))
+        if perf is not None:
+            print()
+            print(render_perf_panel(perf))
     if not report.records:
         # A valid-but-empty campaign (e.g. a store opened before its
         # first sweep finished a record) is a normal state, not an
@@ -445,6 +502,67 @@ def cmd_report(args) -> int:
             file=sys.stderr,
         )
     return 1 if store.health.issues else 0
+
+
+def cmd_progress(args) -> int:
+    """Render a campaign's progress from its events.jsonl stream."""
+    import time
+
+    from repro.obs import events_path, read_progress
+
+    stream = events_path(args.results)
+    if not stream.exists():
+        raise SystemExit(
+            f"no events stream at {stream}; run the sweep with --events"
+        )
+    progress = read_progress(args.results)
+    if args.json:
+        print(json.dumps(progress.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if not args.follow:
+        print(progress.render_line())
+        return 0
+    # Live tail: rewrite one status line until the campaign finishes.
+    while True:
+        line = progress.render_line()
+        print(f"\r\x1b[2K{line}", end="", flush=True)
+        if progress.finished:
+            print()
+            return 0
+        time.sleep(args.interval)
+        progress = read_progress(args.results)
+
+
+def cmd_profile(args) -> int:
+    """Run one cell under instrumentation; print timings + counters."""
+    from repro.experiments import ExperimentSpec
+    from repro.obs import profile_task
+
+    try:
+        spec = ExperimentSpec(
+            name="profile",
+            algorithms=(args.algorithm,),
+            graphs=((args.graph, args.n),),
+            adversaries=(
+                (
+                    args.adversary,
+                    _adversary_params(args.adversary, args, args.n),
+                ),
+            ),
+            collision_rules=(args.cr,),
+            engines=(args.engine,),
+            churns=(args.churn,),
+            seeds=(args.seed,),
+            max_rounds=args.max_rounds,
+        )
+        report = profile_task(spec.tasks()[0])
+    except (ValueError, ImportError) as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
 
 
 def cmd_check(args) -> int:
@@ -669,6 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
         "only when NumPy is missing",
     )
     sweep.add_argument(
+        "--events", action="store_true",
+        help="write a schema-versioned events.jsonl telemetry stream "
+        "beside --results (progress, worker heartbeats, engine "
+        "counters; consumed by repro progress and repro report)",
+    )
+    sweep.add_argument(
         "--batch", action=argparse.BooleanOptionalAction, default=True,
         help="group tasks by science cell so each worker builds the "
         "cell's graph and compiled engine topology once and runs all "
@@ -680,6 +804,11 @@ def build_parser() -> argparse.ArgumentParser:
     lister = sub.add_parser(
         "list",
         help="list registered graph/adversary/algorithm/searcher kinds",
+    )
+    lister.add_argument(
+        "--json", action="store_true",
+        help="machine-readable registry listing (kind -> description "
+        "per registry) for tooling",
     )
     lister.set_defaults(func=cmd_list)
 
@@ -816,10 +945,72 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", action="store_true")
     report.set_defaults(func=cmd_report)
 
+    prog = sub.add_parser(
+        "progress",
+        help="show a campaign's progress from its events.jsonl stream "
+        "(written by repro sweep --events)",
+    )
+    prog.add_argument(
+        "results",
+        help="the campaign's results file or directory (the stream "
+        "lives beside it)",
+    )
+    prog.add_argument(
+        "--json", action="store_true",
+        help="machine-readable progress document (done/total, rate, "
+        "ETA, per-worker liveness)",
+    )
+    prog.add_argument(
+        "--follow", action="store_true",
+        help="keep re-rendering the status line until the campaign "
+        "finishes",
+    )
+    prog.add_argument(
+        "--interval", type=float, default=1.0,
+        help="poll interval in seconds for --follow",
+    )
+    prog.set_defaults(func=cmd_progress)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment cell under instrumentation and print "
+        "its phase-timing and engine-counter tables",
+    )
+    profile.add_argument("--graph", default="gnp",
+                         help=f"{graph_kinds()}")
+    profile.add_argument("--n", type=int, default=32)
+    profile.add_argument(
+        "--algorithm", default="strong_select",
+        help=f"{algorithm_names()}",
+    )
+    profile.add_argument(
+        "--adversary", default="greedy", help=f"{adversary_kinds()}"
+    )
+    profile.add_argument(
+        "--p", type=float, default=0.5,
+        help="delivery probability for --adversary random",
+    )
+    profile.add_argument(
+        "--cr", default="CR4", choices=["CR1", "CR2", "CR3", "CR4"],
+        help="collision rule for the profiled cell",
+    )
+    profile.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="reference",
+        help="execution engine to profile",
+    )
+    profile.add_argument(
+        "--churn", default="none",
+        help=f"fault-injection kind: {churn_kinds()}",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--max-rounds", type=int, default=None)
+    profile.add_argument("--json", action="store_true")
+    profile.set_defaults(func=cmd_profile)
+
     check = sub.add_parser(
         "check",
         help="statically check the determinism/eligibility/import "
-        "contracts (AST rules RPR001-RPR007, see docs/CHECKS.md)",
+        "contracts (AST rules RPR001-RPR008, see docs/CHECKS.md)",
     )
     check.add_argument(
         "paths", nargs="*",

@@ -65,7 +65,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
-import time
+import os
 from typing import (
     Callable,
     Dict,
@@ -76,6 +76,7 @@ from typing import (
 )
 
 from repro.core.runner import make_processes, suggested_round_limit
+from repro.obs.telemetry import Stopwatch, Telemetry, current, set_telemetry
 from repro.experiments.registry import (
     build_adversary,
     build_churn,
@@ -110,6 +111,90 @@ ProgressCallback = Callable[[RunResult, int, int], None]
 #: Max lanes per :func:`repro.sim.vector_engine.run_lockstep` call in
 #: the batched vector path (see `_execute_batch_lockstep`).
 _LOCKSTEP_LANES = 32
+
+
+class _WorkerStats:
+    """Per-process heartbeat state: a clock and a cumulative tally."""
+
+    __slots__ = ("watch", "tasks_done")
+
+    def __init__(self) -> None:
+        self.watch = Stopwatch()
+        self.tasks_done = 0
+
+
+#: pid → heartbeat state; cleared on the first heartbeat after a fork
+#: so a child never reports the parent's clock or tally as its own.
+_WORKER_STATS: Dict[int, _WorkerStats] = {}
+
+
+def _heartbeat(telemetry: Telemetry, tasks_done: int) -> None:
+    """Emit one worker heartbeat (pid, cumulative tasks, tasks/s).
+
+    Called from the worker side after each finished dispatch unit.  The
+    trailing ``flush()`` also pushes the engine-counter deltas
+    accumulated since the last heartbeat into the sink as a ``stats``
+    event, so perf panels can sum per-worker contributions.  A no-op
+    without an enabled sink.
+    """
+    if not telemetry.enabled:
+        return
+    pid = os.getpid()
+    stats = _WORKER_STATS.get(pid)
+    if stats is None:
+        _WORKER_STATS.clear()  # drop state inherited through fork
+        stats = _WORKER_STATS[pid] = _WorkerStats()
+    stats.tasks_done += tasks_done
+    elapsed = stats.watch.elapsed()
+    rate = stats.tasks_done / elapsed if elapsed > 0.0 else 0.0
+    telemetry.event(
+        "heartbeat", tasks_done=stats.tasks_done, rate=rate
+    )
+    telemetry.flush()
+
+
+def _init_worker_telemetry(target: Optional[str]) -> None:
+    """Pool initializer: ensure workers have a telemetry sink.
+
+    Fork-started workers inherit the parent's sink (whose pid check
+    diverts their writes to a sibling stream, see
+    :mod:`repro.obs.jsonl`), so they need nothing here; spawn-started
+    workers start with the null default and install their own
+    ``worker=True`` sink against the campaign's stream path.
+    """
+    if target is not None and not current().enabled:
+        from repro.obs.jsonl import JsonlTelemetry
+
+        set_telemetry(JsonlTelemetry(target, worker=True))
+
+
+class _ProgressEmitter:
+    """Rate-limited ``progress`` events for the live campaign stream.
+
+    At most ~2 events per second, except that the terminal state
+    (``done == total``) always emits — a finished campaign's stream
+    must end on the true count.
+    """
+
+    _MIN_INTERVAL = 0.5
+
+    def __init__(self, telemetry: Telemetry, total: int) -> None:
+        self._telemetry = telemetry
+        self._total = total
+        self._watch = Stopwatch()
+        self._last = -self._MIN_INTERVAL
+
+    def update(self, done: int) -> None:
+        """Emit ``done``/total if the rate limit (or the end) allows."""
+        if not self._telemetry.enabled:
+            return
+        now = self._watch.elapsed()
+        if done < self._total and now - self._last < self._MIN_INTERVAL:
+            return
+        self._last = now
+        self._telemetry.event(
+            "progress", done=done, total=self._total
+        )
 
 
 def _execute_on(
@@ -164,7 +249,9 @@ def _execute_on(
     engine = build_engine(
         graph, processes, adversary, config, topology=topology
     )
-    return _result_from(task, graph, engine.run(), engine_name)
+    with current().span("engine_run"):
+        trace = engine.run()
+    return _result_from(task, graph, trace, engine_name)
 
 
 def _route_engine(engine_name: str, rule, adversary) -> str:
@@ -217,10 +304,17 @@ def _result_from(
 
 def execute_task(task: RunTask) -> RunResult:
     """Run one grid cell seed and return its deterministic record."""
-    graph = build_graph(
-        task.graph_kind, task.n, seed=task.seed, **dict(task.graph_params)
-    )
-    return _execute_on(task, graph)
+    telemetry = current()
+    with telemetry.span("graph_build"):
+        graph = build_graph(
+            task.graph_kind,
+            task.n,
+            seed=task.seed,
+            **dict(task.graph_params),
+        )
+    result = _execute_on(task, graph)
+    _heartbeat(telemetry, 1)
+    return result
 
 
 def execute_batch(batch: CellBatch) -> List[RunResult]:
@@ -239,10 +333,12 @@ def execute_batch(batch: CellBatch) -> List[RunResult]:
     byte-identical to per-task execution (the engines are proven
     trace-equivalent).
     """
+    telemetry = current()
     share = not graph_seed_dependent(batch.tasks[0].graph_kind)
     if batch.tasks[0].engine == "vector":
         lockstep = _execute_batch_lockstep(batch, share)
         if lockstep is not None:
+            _heartbeat(telemetry, len(lockstep))
             return lockstep
     graph: Optional[DualGraph] = None
     topology: Optional[CompiledTopology] = None
@@ -250,17 +346,20 @@ def execute_batch(batch: CellBatch) -> List[RunResult]:
     results: List[RunResult] = []
     for task in batch.tasks:
         if graph is None or not share:
-            graph = build_graph(
-                task.graph_kind,
-                task.n,
-                seed=task.seed,
-                **dict(task.graph_params),
-            )
-            topology = compile_topology(graph)
+            with telemetry.span("graph_build"):
+                graph = build_graph(
+                    task.graph_kind,
+                    task.n,
+                    seed=task.seed,
+                    **dict(task.graph_params),
+                )
+            with telemetry.span("topology_compile"):
+                topology = compile_topology(graph)
             default_cap = None
         if task.max_rounds is None and default_cap is None:
             default_cap = suggested_round_limit(task.algorithm, graph)
         results.append(_execute_on(task, graph, topology, default_cap))
+    _heartbeat(telemetry, len(results))
     return results
 
 
@@ -297,29 +396,34 @@ def _execute_batch_lockstep(
     )
     if not vector_engine_eligible(rule, first_adversary):
         return None
+    telemetry = current()
     if share:
         first = tasks[0]
-        shared_graph = build_graph(
-            first.graph_kind,
-            first.n,
-            seed=first.seed,
-            **dict(first.graph_params),
-        )
-        graphs = [shared_graph] * len(tasks)
-        topologies = [compile_topology(shared_graph)] * len(tasks)
-    else:
-        graphs = [
-            build_graph(
-                task.graph_kind,
-                task.n,
-                seed=task.seed,
-                **dict(task.graph_params),
+        with telemetry.span("graph_build"):
+            shared_graph = build_graph(
+                first.graph_kind,
+                first.n,
+                seed=first.seed,
+                **dict(first.graph_params),
             )
-            for task in tasks
-        ]
+        graphs = [shared_graph] * len(tasks)
+        with telemetry.span("topology_compile"):
+            topologies = [compile_topology(shared_graph)] * len(tasks)
+    else:
+        with telemetry.span("graph_build"):
+            graphs = [
+                build_graph(
+                    task.graph_kind,
+                    task.n,
+                    seed=task.seed,
+                    **dict(task.graph_params),
+                )
+                for task in tasks
+            ]
         if len({graph.n for graph in graphs}) != 1:
             return None  # lanes cannot interleave across node counts
-        topologies = [compile_topology(graph) for graph in graphs]
+        with telemetry.span("topology_compile"):
+            topologies = [compile_topology(graph) for graph in graphs]
     adversaries = [first_adversary] + [
         build_adversary(
             task.adversary_kind,
@@ -374,17 +478,18 @@ def _execute_batch_lockstep(
     # trade all cache locality for matrix width.  Blocks are pure
     # scheduling — each lane's trace is independent.
     traces = []
-    for lo in range(0, len(tasks), _LOCKSTEP_LANES):
-        hi = lo + _LOCKSTEP_LANES
-        traces.extend(
-            run_lockstep(
-                graphs[lo:hi],
-                process_lists[lo:hi],
-                adversaries[lo:hi],
-                configs[lo:hi],
-                topology=topologies[lo:hi],
+    with telemetry.span("engine_run"):
+        for lo in range(0, len(tasks), _LOCKSTEP_LANES):
+            hi = lo + _LOCKSTEP_LANES
+            traces.extend(
+                run_lockstep(
+                    graphs[lo:hi],
+                    process_lists[lo:hi],
+                    adversaries[lo:hi],
+                    configs[lo:hi],
+                    topology=topologies[lo:hi],
+                )
             )
-        )
     return [
         _result_from(task, graph, trace, "vector")
         for task, graph, trace in zip(tasks, graphs, traces)
@@ -528,12 +633,14 @@ class SweepRunner:
         self, progress: Optional[ProgressCallback] = None
     ) -> SweepResult:
         """Execute all pending tasks and return the aggregated result."""
-        started = time.perf_counter()
+        watch = Stopwatch()
+        telemetry = current()
         tasks = self.tasks()
         done: Dict[str, RunResult] = {}
         store = self.open_store(tasks)
         if store is not None:
-            on_disk = store.claim_keys()
+            with telemetry.span("resume_scan"):
+                on_disk = store.claim_keys()
             done = {
                 t.key: on_disk[t.key] for t in tasks if t.key in on_disk
             }
@@ -541,23 +648,44 @@ class SweepRunner:
 
         records = dict(done)
         total = len(tasks)
+        if telemetry.enabled:
+            telemetry.event(
+                "campaign_start",
+                name=self.specs[0].name,
+                total=total,
+                resumed=len(done),
+                workers=self.workers,
+            )
+        emitter = _ProgressEmitter(telemetry, total)
         try:
             for result in self._execute(pending):
                 records[result.key] = result
                 if store is not None:
-                    store.append(result)
+                    with telemetry.span("store_append"):
+                        store.append(result)
                 if progress is not None:
                     progress(result, len(records), total)
+                emitter.update(len(records))
         finally:
             if store is not None:
-                store.close()
+                with telemetry.span("store_flush"):
+                    store.close()
 
+        elapsed = watch.elapsed()
+        if telemetry.enabled:
+            telemetry.event(
+                "campaign_end",
+                done=len(records),
+                total=total,
+                elapsed=elapsed,
+            )
+            telemetry.flush()
         health = store.health if store is not None else StoreHealth()
         return SweepResult(
             records=list(records.values()),
             executed=len(pending),
             resumed=len(done),
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             skipped_lines=health.skipped_lines,
             health=health,
         )
@@ -626,7 +754,17 @@ class SweepRunner:
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        with ctx.Pool(self.workers) as pool:
+        # Spawn-started workers re-import everything and would lose the
+        # campaign's sink; the initializer hands them its stream path
+        # (fork workers inherit the sink and the initializer no-ops).
+        sink_path = getattr(current(), "path", None)
+        with ctx.Pool(
+            self.workers,
+            initializer=_init_worker_telemetry,
+            initargs=(
+                str(sink_path) if sink_path is not None else None,
+            ),
+        ) as pool:
             for out in pool.imap_unordered(
                 run_unit, units, chunksize=chunksize
             ):

@@ -1,0 +1,321 @@
+"""Folding ``events.jsonl`` into campaign progress and perf summaries.
+
+This module is the read side of the telemetry stream: it turns the raw
+event list (:func:`repro.obs.events.read_events`) into the structures
+the CLI consumers render — :class:`CampaignProgress` for
+``repro progress`` (done/total, throughput, ETA, per-worker liveness)
+and :func:`perf_summary` for the perf panel of ``repro report``
+(summed ``stats`` deltas and campaign phase spans).
+
+Folding is forward-only and tolerant: unknown event kinds are skipped
+(the schema contract in :mod:`repro.obs.events`), and a half-written
+stream from a live or killed campaign folds to the best state the
+events so far support — which is exactly what a live ``repro
+progress`` tail needs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import read_events
+
+#: A worker whose last heartbeat is older than this many seconds is
+#: rendered as stale by ``repro progress`` (likely dead or wedged).
+STALE_WORKER_SECONDS = 30.0
+
+_PathLike = str
+
+
+class WorkerStatus:
+    """The latest heartbeat state of one pool worker."""
+
+    __slots__ = ("pid", "tasks_done", "rate", "last_seen")
+
+    def __init__(
+        self, pid: int, tasks_done: int, rate: float, last_seen: float
+    ) -> None:
+        self.pid = pid
+        self.tasks_done = tasks_done
+        self.rate = rate
+        self.last_seen = last_seen
+
+    def is_stale(self, now: Optional[float] = None) -> bool:
+        """Whether the worker missed its heartbeat window."""
+        if now is None:
+            now = time.time()
+        return (now - self.last_seen) > STALE_WORKER_SECONDS
+
+    def to_dict(self, now: Optional[float] = None) -> Dict[str, object]:
+        """The ``--json`` form of one worker row."""
+        return {
+            "pid": self.pid,
+            "tasks_done": self.tasks_done,
+            "rate": self.rate,
+            "last_seen": self.last_seen,
+            "stale": self.is_stale(now),
+        }
+
+
+class CampaignProgress:
+    """The folded state of one campaign's telemetry stream."""
+
+    def __init__(self) -> None:
+        self.name: Optional[str] = None
+        self.done = 0
+        self.total = 0
+        self.resumed = 0
+        self.started_at: Optional[float] = None
+        self.updated_at: Optional[float] = None
+        self.finished = False
+        self.elapsed: Optional[float] = None
+        self.workers: Dict[int, WorkerStatus] = {}
+
+    @property
+    def rate(self) -> float:
+        """Overall completed tasks per second since campaign start.
+
+        Computed from the event timestamps (start to latest event), so
+        it is stable for finished campaigns and live for running ones.
+        """
+        if self.started_at is None or self.updated_at is None:
+            return 0.0
+        window = self.updated_at - self.started_at
+        if window <= 0.0:
+            return 0.0
+        return self.done / window
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Seconds to completion at the current rate (None if unknown)."""
+        if self.finished:
+            return 0.0
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        rate = self.rate
+        if rate <= 0.0:
+            return None
+        return remaining / rate
+
+    def to_dict(self, now: Optional[float] = None) -> Dict[str, object]:
+        """The ``repro progress --json`` document."""
+        return {
+            "name": self.name,
+            "done": self.done,
+            "total": self.total,
+            "resumed": self.resumed,
+            "finished": self.finished,
+            "rate": self.rate,
+            "eta_seconds": self.eta_seconds,
+            "elapsed": self.elapsed,
+            "workers": [
+                self.workers[pid].to_dict(now)
+                for pid in sorted(self.workers)
+            ],
+        }
+
+    def render_line(self, now: Optional[float] = None) -> str:
+        """The single-line TTY status ``repro progress`` prints."""
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            head = f"{self.done}/{self.total} ({pct:.0f}%)"
+        else:
+            head = f"{self.done}/?"
+        parts = [head, f"{self.rate:.1f} task/s"]
+        if self.finished:
+            if self.elapsed is not None:
+                parts.append(f"done in {self.elapsed:.1f}s")
+            else:
+                parts.append("done")
+        else:
+            eta = self.eta_seconds
+            parts.append(
+                "eta ?" if eta is None else f"eta {eta:.0f}s"
+            )
+        if self.workers:
+            live = sum(
+                1 for w in self.workers.values() if not w.is_stale(now)
+            )
+            parts.append(f"workers {live}/{len(self.workers)}")
+        name = self.name or "campaign"
+        return f"{name}: " + "  ".join(parts)
+
+
+def fold_events(
+    events: Iterable[Dict[str, object]],
+) -> CampaignProgress:
+    """Fold an ordered event sequence into a :class:`CampaignProgress`.
+
+    Later events win (the sequence is expected in ``(ts, pid, seq)``
+    order, as :func:`~repro.obs.events.read_events` yields it); a
+    stream with no ``campaign_end`` folds to a live, unfinished state.
+    """
+    progress = CampaignProgress()
+    for event in events:
+        kind = event.get("kind")
+        ts = float(event.get("ts", 0.0))  # type: ignore[arg-type]
+        if progress.updated_at is None or ts > progress.updated_at:
+            progress.updated_at = ts
+        if kind == "campaign_start":
+            progress.name = str(event.get("name", "")) or progress.name
+            progress.total = int(event.get("total", 0))  # type: ignore[call-overload]
+            progress.resumed = int(event.get("resumed", 0))  # type: ignore[call-overload]
+            progress.started_at = ts
+            progress.finished = False
+        elif kind == "progress":
+            progress.done = int(event.get("done", progress.done))  # type: ignore[call-overload]
+            total = int(event.get("total", progress.total))  # type: ignore[call-overload]
+            if total:
+                progress.total = total
+        elif kind == "heartbeat":
+            pid = int(event.get("pid", 0))  # type: ignore[call-overload]
+            progress.workers[pid] = WorkerStatus(
+                pid=pid,
+                tasks_done=int(event.get("tasks_done", 0)),  # type: ignore[call-overload]
+                rate=float(event.get("rate", 0.0)),  # type: ignore[arg-type]
+                last_seen=ts,
+            )
+        elif kind == "campaign_end":
+            progress.done = int(event.get("done", progress.done))  # type: ignore[call-overload]
+            total = int(event.get("total", progress.total))  # type: ignore[call-overload]
+            if total:
+                progress.total = total
+            elapsed = event.get("elapsed")
+            if elapsed is not None:
+                progress.elapsed = float(elapsed)  # type: ignore[arg-type]
+            progress.finished = True
+    return progress
+
+
+def read_progress(results: _PathLike) -> CampaignProgress:
+    """Fold the campaign at ``results`` (main + worker streams)."""
+    return fold_events(read_events(results))
+
+
+def _merge_span(
+    spans: Dict[str, Dict[str, float]],
+    name: str,
+    count: float,
+    seconds: float,
+) -> None:
+    """Accumulate one span delta into the summary aggregate."""
+    agg = spans.setdefault(name, {"count": 0.0, "seconds": 0.0})
+    agg["count"] += count
+    agg["seconds"] += seconds
+
+
+def perf_summary(results: _PathLike) -> Dict[str, object]:
+    """Sum a campaign's ``stats`` deltas into one perf document.
+
+    The shape feeds the perf panel of ``repro report`` and the
+    ``repro progress --json`` consumers::
+
+        {"counters": {name: total, ...},
+         "spans": {name: {"count": n, "seconds": s, "mean": m}, ...},
+         "engine_runs": <count of engine_run events>,
+         "events": <total event count>}
+
+    ``stats`` events are deltas (each flush resets the emitting sink's
+    aggregates), so summation — not last-wins — is the correct fold.
+    """
+    counters: Dict[str, float] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    engine_runs = 0
+    total_events = 0
+    for event in read_events(results):
+        total_events += 1
+        kind = event.get("kind")
+        if kind == "stats":
+            raw_counters = event.get("counters")
+            if isinstance(raw_counters, dict):
+                for name, value in raw_counters.items():
+                    counters[name] = counters.get(name, 0.0) + float(value)
+            raw_spans = event.get("spans")
+            if isinstance(raw_spans, dict):
+                for name, stats in raw_spans.items():
+                    if isinstance(stats, dict):
+                        _merge_span(
+                            spans,
+                            name,
+                            float(stats.get("count", 0.0)),
+                            float(stats.get("seconds", 0.0)),
+                        )
+        elif kind == "engine_run":
+            engine_runs += 1
+    span_doc: Dict[str, object] = {}
+    for name in sorted(spans):
+        agg = spans[name]
+        count = agg["count"]
+        span_doc[name] = {
+            "count": int(count),
+            "seconds": agg["seconds"],
+            "mean": agg["seconds"] / count if count else 0.0,
+        }
+    return {
+        "counters": {
+            name: (
+                int(counters[name])
+                if counters[name] == int(counters[name])
+                else counters[name]
+            )
+            for name in sorted(counters)
+        },
+        "spans": span_doc,
+        "engine_runs": engine_runs,
+        "events": total_events,
+    }
+
+
+def _format_rows(rows: List[Tuple[str, ...]], header: Tuple[str, ...]) -> str:
+    """Left-aligned fixed-width table used by the perf/profile renders."""
+    table = [header] + rows
+    widths = [
+        max(len(row[col]) for row in table)
+        for col in range(len(header))
+    ]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_perf_panel(perf: Dict[str, object]) -> str:
+    """Render a :func:`perf_summary` document as the report perf panel."""
+    lines = ["== Performance (events.jsonl) =="]
+    spans = perf.get("spans")
+    if isinstance(spans, dict) and spans:
+        rows = []
+        for name in sorted(spans):
+            stats = spans[name]
+            if not isinstance(stats, dict):
+                continue
+            rows.append(
+                (
+                    name,
+                    str(int(stats.get("count", 0))),
+                    f"{float(stats.get('seconds', 0.0)):.4f}",
+                    f"{float(stats.get('mean', 0.0)) * 1e3:.3f}",
+                )
+            )
+        lines.append(
+            _format_rows(rows, ("phase", "count", "total s", "mean ms"))
+        )
+    counters = perf.get("counters")
+    if isinstance(counters, dict) and counters:
+        rows = [
+            (name, str(counters[name])) for name in sorted(counters)
+        ]
+        lines.append("")
+        lines.append(_format_rows(rows, ("counter", "total")))
+    lines.append("")
+    lines.append(
+        f"engine runs: {perf.get('engine_runs', 0)}   "
+        f"events: {perf.get('events', 0)}"
+    )
+    return "\n".join(lines)

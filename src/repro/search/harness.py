@@ -20,10 +20,10 @@ degrades to extra work, never to wrong results).
 from __future__ import annotations
 
 import random
-import time
 from typing import Callable, List, Optional
 
 from repro.experiments.registry import build_graph
+from repro.obs.telemetry import Stopwatch, current
 from repro.search.evaluate import (
     CandidateScore,
     EvaluationContext,
@@ -129,8 +129,10 @@ def run_search(
             Scores are identical either way, so a results file written
             under one backend resumes under the other.
     """
-    started = time.perf_counter()
-    space = make_space(settings)
+    watch = Stopwatch()
+    telemetry = current()
+    with telemetry.span("graph_build"):
+        space = make_space(settings)
     searcher_obj = build_searcher(searcher, space, settings)
     rng = random.Random(f"{settings.key}/{searcher}/r{seed}")
 
@@ -146,9 +148,12 @@ def run_search(
         if results_path
         else None
     )
-    on_disk = (
-        result_store.claim_keys() if result_store is not None else {}
-    )
+    with telemetry.span("resume_scan"):
+        on_disk = (
+            result_store.claim_keys()
+            if result_store is not None
+            else {}
+        )
 
     best: Optional[CandidateScore] = None
     best_ordinal = -1
@@ -190,18 +195,20 @@ def run_search(
                     resumed += 1
                 else:
                     fresh_idx.append(i)
-            fresh_scores = evaluator_obj.evaluate(
-                [genomes[i] for i in fresh_idx]
-            )
+            with telemetry.span("engine_run"):
+                fresh_scores = evaluator_obj.evaluate(
+                    [genomes[i] for i in fresh_idx]
+                )
             for i, score in zip(fresh_idx, fresh_scores):
                 scores[i] = score
                 executed += 1
                 if result_store is not None:
-                    result_store.append(
-                        CandidateRecord.from_score(
-                            score, keys[i], ordinal + i, searcher
+                    with telemetry.span("store_append"):
+                        result_store.append(
+                            CandidateRecord.from_score(
+                                score, keys[i], ordinal + i, searcher
+                            )
                         )
-                    )
             batch = [s for s in scores if s is not None]
             searcher_obj.tell(batch)
             for i, score in enumerate(batch):
@@ -214,7 +221,8 @@ def run_search(
     finally:
         evaluator_obj.close()
         if result_store is not None:
-            result_store.close()
+            with telemetry.span("store_flush"):
+                result_store.close()
 
     health = (
         result_store.health if result_store is not None else StoreHealth()
@@ -230,7 +238,7 @@ def run_search(
         resumed=resumed,
         skipped_lines=health.issues,
         health=health,
-        elapsed=time.perf_counter() - started,
+        elapsed=watch.elapsed(),
     )
     if verify:
         result.replay_verified = verify_replay(

@@ -46,6 +46,7 @@ from repro.adversaries.base import Adversary, AdversaryView, NoDeliveryAdversary
 from repro.graphs.dualgraph import DualGraph
 from repro.sim.collision import CollisionRule, resolve_reception
 from repro.sim.faults import ChurnSchedule
+from repro.obs.telemetry import current as _current_telemetry
 from repro.sim.messages import Message, Reception, SILENCE
 from repro.sim.process import Process, ProcessContext
 from repro.sim.trace import ExecutionTrace, RoundRecord
@@ -154,6 +155,10 @@ class BroadcastEngine:
         self.adversary = adversary if adversary is not None else NoDeliveryAdversary()
         self.config = config if config is not None else EngineConfig()
         self.payload = payload
+        # Telemetry is captured at construction (the process-wide sink
+        # at that moment); it only observes — counters/events never
+        # feed trace state, so enabling a sink cannot change a trace.
+        self._telemetry = _current_telemetry()
 
         by_uid = {p.uid: p for p in processes}
         proc_map = self.adversary.assign_processes(network, uids)
@@ -452,6 +457,23 @@ class BroadcastEngine:
         def cr4(node: int, msgs: List[Message]) -> Optional[Message]:
             return self.adversary.resolve_cr4(view, node, msgs)
 
+        # Observability: one hoisted boolean when disabled; when a sink
+        # is installed the round tallies local ints and folds them into
+        # counters once per round.  Pure observation — the resolver
+        # wrapper delegates unchanged, so trace bytes cannot move.
+        telemetry = self._telemetry
+        obs_on = telemetry.enabled
+        obs_delivered = obs_collisions = obs_silences = obs_drops = 0
+        consults = [0]
+
+        def counted_cr4(
+            node: int, msgs: List[Message]
+        ) -> Optional[Message]:
+            consults[0] += 1
+            return cr4(node, msgs)
+
+        cr4_resolver = counted_cr4 if obs_on else cr4
+
         if recording:
             candidates: Sequence[int] = network.nodes
         elif len(self._active_sorted) == network.n:
@@ -475,6 +497,8 @@ class BroadcastEngine:
                 # A crashed radio hears nothing and is never consulted
                 # for — arrivals at its position dissolve (recorded as
                 # silence), and no message can wake it.
+                if obs_on and node in arrivals:
+                    obs_drops += 1
                 if receptions is not None:
                     receptions[node] = SILENCE
                 continue
@@ -491,10 +515,17 @@ class BroadcastEngine:
                     own_message is not None,
                     own_message,
                     node_arrivals,
-                    cr4_resolver=cr4,
+                    cr4_resolver=cr4_resolver,
                 )
             if receptions is not None:
                 receptions[node] = reception
+            if obs_on:
+                if reception.is_message:
+                    obs_delivered += 1
+                elif reception.is_collision:
+                    obs_collisions += 1
+                else:
+                    obs_silences += 1
             if node not in self._active:
                 if reception.is_message:
                     newly_active.append(node)
@@ -508,6 +539,15 @@ class BroadcastEngine:
                 if process.has_message and self._carries_payload(reception):
                     self._mark_informed(node, rnd)
                     newly_informed.append(node)
+
+        if obs_on:
+            telemetry.count("engine.rounds")
+            telemetry.count("engine.senders", len(senders))
+            telemetry.count("engine.delivered", obs_delivered)
+            telemetry.count("engine.collisions", obs_collisions)
+            telemetry.count("engine.silences", obs_silences)
+            telemetry.count("engine.crashed_drops", obs_drops)
+            telemetry.count("engine.cr4_consults", consults[0])
 
         record = RoundRecord(
             round_number=rnd,
@@ -587,6 +627,14 @@ class BroadcastEngine:
             if self.config.stop_when_informed and self._all_informed():
                 break
         self.trace.completed = self._all_informed()
+        if self._telemetry.enabled:
+            self._telemetry.event(
+                "engine_run",
+                engine=self.config.engine,
+                n=self.network.n,
+                rounds=self._round,
+                completed=self.trace.completed,
+            )
         return self.trace
 
     def _all_informed(self) -> bool:

@@ -398,6 +398,25 @@ class FastBroadcastEngine(BroadcastEngine):
         def cr4(node: int, msgs: List[Message]) -> Optional[Message]:
             return self.adversary.resolve_cr4(view, node, msgs)
 
+        # Observability (reference-engine parity: one hoisted boolean
+        # when off, per-visit tallies when on, nothing feeding trace
+        # state).  Counters are implementation-level — the mask path
+        # visits a different candidate set than the reference loop, so
+        # per-engine totals are comparable only within an engine.
+        telemetry = self._telemetry
+        obs_on = telemetry.enabled
+        obs_delivered = obs_collisions = obs_silences = 0
+        obs_fallbacks = 0
+        consults = [0]
+
+        def counted_cr4(
+            node: int, msgs: List[Message]
+        ) -> Optional[Message]:
+            consults[0] += 1
+            return cr4(node, msgs)
+
+        cr4_resolver = counted_cr4 if obs_on else cr4
+
         receptions: Optional[Dict[int, Reception]] = (
             {} if recording else None
         )
@@ -469,13 +488,20 @@ class FastBroadcastEngine(BroadcastEngine):
                     # CR4 with a real adversary resolver: rebuild the
                     # arrival list in reference order (ascending sender
                     # node) and defer to the shared resolution path.
+                    if obs_on:
+                        obs_fallbacks += 1
                     arrivals = [
                         msg
                         for s, msg in senders.items()
                         if sender_reach[s] & b
                     ]
                     reception = resolve_reception(
-                        rule, node, False, None, arrivals, cr4_resolver=cr4
+                        rule,
+                        node,
+                        False,
+                        None,
+                        arrivals,
+                        cr4_resolver=cr4_resolver,
                     )
             else:
                 # Exactly one arrival: a lone sender hears itself (CR1's
@@ -485,6 +511,13 @@ class FastBroadcastEngine(BroadcastEngine):
 
             if receptions is not None:
                 receptions[node] = reception
+            if obs_on:
+                if reception.message is not None:
+                    obs_delivered += 1
+                elif reception.is_collision:
+                    obs_collisions += 1
+                else:
+                    obs_silences += 1
             # `.message is not None` is the cheap attribute-level spelling
             # of Reception.is_message (a MESSAGE reception always carries
             # a message; the other kinds never do).
@@ -505,6 +538,19 @@ class FastBroadcastEngine(BroadcastEngine):
                 if process.has_message and self._carries_payload(reception):
                     self._mark_informed(node, rnd)
                     newly_informed.append(node)
+
+        if obs_on:
+            telemetry.count("engine.rounds")
+            telemetry.count("engine.senders", len(senders))
+            telemetry.count("engine.delivered", obs_delivered)
+            telemetry.count("engine.collisions", obs_collisions)
+            telemetry.count("engine.silences", obs_silences)
+            telemetry.count(
+                "engine.crashed_drops",
+                bin(reached_once & crashed_mask).count("1"),
+            )
+            telemetry.count("engine.cr4_consults", consults[0])
+            telemetry.count("engine.cr4_fallbacks", obs_fallbacks)
 
         record = RoundRecord(
             round_number=rnd,

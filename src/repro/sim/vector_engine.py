@@ -276,6 +276,15 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
     rnd = first._round + 1
     n_lanes = len(lanes)
 
+    # Observability: lanes share one process (and in practice one
+    # sink), so the first lane's captured telemetry tallies the whole
+    # round; counters aggregate across lanes.  Pure observation —
+    # nothing here feeds trace state.
+    telemetry = first._telemetry
+    obs_on = telemetry.enabled
+    obs_delivered = obs_collisions = obs_silences = 0
+    obs_consults = 0
+
     # Phase 1: per-lane decisions (per-seed RNG streams stay intact).
     # Sender positions are collected as flat (lane, node) coordinate
     # lists — proportional to the senders, never to ``lanes × n``.
@@ -403,6 +412,7 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
     ]
     if rule is CollisionRule.CR4 and cat.any():
         crows, cnodes = np.nonzero(cat == _CAT_CONSULT)
+        obs_consults = int(crows.size)
         for i, node in zip(crows.tolist(), cnodes.tolist()):
             lane = lanes[i]
             senders = lane_senders[i]
@@ -512,6 +522,13 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
 
             if rec_map is not None:
                 rec_map[node] = reception
+            if obs_on:
+                if reception.message is not None:
+                    obs_delivered += 1
+                elif reception.is_collision:
+                    obs_collisions += 1
+                else:
+                    obs_silences += 1
             is_message = reception.message is not None
             if node not in active:
                 if is_message:
@@ -529,6 +546,21 @@ def _lockstep_round(lanes: Sequence[VectorBroadcastEngine]) -> None:
                 if process.has_message and carries_payload(reception):
                     mark_informed(node, rnd)
                     newly_informed.append(node)
+
+    if obs_on:
+        telemetry.count("engine.rounds", n_lanes)
+        telemetry.count("engine.senders", len(snodes))
+        telemetry.count("engine.delivered", obs_delivered)
+        telemetry.count("engine.collisions", obs_collisions)
+        telemetry.count("engine.silences", obs_silences)
+        telemetry.count("engine.cr4_consults", obs_consults)
+        obs_drops = 0
+        for i, lane in enumerate(lanes):
+            if lane._crashed:
+                obs_drops += int(
+                    (counts[i][lane._crashed_row] > 0).sum()
+                )
+        telemetry.count("engine.crashed_drops", obs_drops)
 
     for i, lane in enumerate(lanes):
         crashed_now, recovered_now = lane_churn[i]
@@ -670,4 +702,13 @@ def run_lockstep(
             else:
                 still.append(lane)
         live = still
+    for lane in lanes:
+        if lane._telemetry.enabled:
+            lane._telemetry.event(
+                "engine_run",
+                engine="vector",
+                n=lane.network.n,
+                rounds=lane._round,
+                completed=lane.trace.completed,
+            )
     return [lane.trace for lane in lanes]

@@ -1,9 +1,13 @@
-"""RPR003 passing fixture: monotonic elapsed-time measurement."""
+"""RPR003 passing fixture: key-derived identifiers, obs-layer timing."""
 
-import time
+from repro.obs import Stopwatch
 
 
 def elapsed(run):
-    started = time.perf_counter()
+    watch = Stopwatch()
     run()
-    return time.perf_counter() - started
+    return watch.elapsed()
+
+
+def run_identifier(spec, seed):
+    return f"{spec}:{seed}"

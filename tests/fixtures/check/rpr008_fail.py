@@ -1,0 +1,14 @@
+"""RPR008 failing fixture: wall-clock timers outside repro.obs."""
+
+import time
+from time import monotonic
+
+
+def elapsed(run):
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started
+
+
+def tick():
+    return monotonic()

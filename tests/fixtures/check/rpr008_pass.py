@@ -1,0 +1,22 @@
+"""RPR008 passing fixture: timing through the observability layer."""
+
+import time
+
+from repro.obs import Stopwatch, current
+
+
+def elapsed(run):
+    watch = Stopwatch()
+    run()
+    return watch.elapsed()
+
+
+def timed_phase(run):
+    with current().span("phase"):
+        run()
+
+
+def sleepy():
+    # Sleeping is scheduling, not measurement: RPR008 only confines
+    # the timer *reads*.
+    time.sleep(0.0)

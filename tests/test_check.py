@@ -44,6 +44,7 @@ class TestRulePack:
             ("RPR005", 3),
             ("RPR006", 1),
             ("RPR007", 2),
+            ("RPR008", 3),
         ],
     )
     def test_fail_fixture_flags_only_its_rule(self, code, count):
@@ -56,7 +57,7 @@ class TestRulePack:
     @pytest.mark.parametrize(
         "code",
         ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-         "RPR007"],
+         "RPR007", "RPR008"],
     )
     def test_pass_fixture_is_clean(self, code):
         findings, _ = check_file(FIXTURES / f"{code.lower()}_pass.py")
@@ -130,6 +131,24 @@ class TestScoping:
         silent, _ = check_file(tmp_path / "repro" / "sim" / "engine.py")
         assert codes(flagged) == ["RPR007"]
         assert silent == []
+
+    def test_rpr008_exempts_the_obs_scope(self, tmp_path):
+        # Wall-clock timers are legal inside repro.obs (the layer the
+        # rule confines them to) and flagged everywhere else.
+        for pkg in ("obs", "experiments"):
+            target = tmp_path / "repro" / pkg
+            target.mkdir(parents=True)
+            (target / "mod.py").write_text(
+                "import time\n"
+                "def f():\n"
+                "    return time.perf_counter()\n"
+            )
+        silent, _ = check_file(tmp_path / "repro" / "obs" / "mod.py")
+        flagged, _ = check_file(
+            tmp_path / "repro" / "experiments" / "mod.py"
+        )
+        assert silent == []
+        assert codes(flagged) == ["RPR008"]
 
     def test_unscoped_rule_applies_everywhere(self, tmp_path):
         target = tmp_path / "repro" / "analysis"
@@ -243,7 +262,7 @@ class TestRegistry:
     def test_rule_codes_cover_the_pack(self):
         assert list(rule_codes()) == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007",
+            "RPR007", "RPR008",
         ]
 
     def test_catalogue_documents_every_code(self):

@@ -5,8 +5,8 @@ Two layers:
 * An AST annotation-completeness check that enforces the same
   contract as mypy's ``disallow_untyped_defs``/
   ``disallow_incomplete_defs`` on the fully-typed packages
-  (``repro.check``, ``repro.core``, ``repro.store``) and on the
-  public surfaces of the fast/vector engines.  It runs everywhere,
+  (``repro.check``, ``repro.core``, ``repro.obs``, ``repro.store``)
+  and on the public surfaces of the fast/vector engines.  It runs everywhere,
   including environments without mypy.
 * The real pinned-mypy run (the CI static-analysis job's command),
   executed when mypy is importable and skipped otherwise; marked
@@ -24,6 +24,7 @@ SRC = ROOT / "src"
 FULLY_TYPED = [
     SRC / "repro" / "check",
     SRC / "repro" / "core",
+    SRC / "repro" / "obs",
     SRC / "repro" / "store",
 ]
 PUBLIC_TYPED = [
@@ -122,6 +123,7 @@ def test_mypy_gate_passes():
         [
             "-p", "repro.check",
             "-p", "repro.core",
+            "-p", "repro.obs",
             "-p", "repro.store",
             "-m", "repro.sim.fast_engine",
             "-m", "repro.sim.vector_engine",

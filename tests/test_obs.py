@@ -1,0 +1,508 @@
+"""Tests for ``repro.obs`` — telemetry, events, progress, profiling.
+
+The load-bearing guarantee is differential: enabling telemetry must
+never change a single trace byte, on any engine, churn included.  The
+rest covers the event schema round-trip, the JSONL sink (delta flushes,
+worker streams, merge), the progress/perf folds, and the CLI consumers
+(``repro progress``, ``repro profile``, ``repro list --json``).
+"""
+
+import json
+
+import pytest
+
+from conftest import corpus_graph
+from repro.cli import main
+from repro.core.runner import broadcast
+from repro.experiments import ExperimentSpec
+from repro.experiments.registry import build_adversary, build_churn
+from repro.obs import (
+    ENVELOPE_FIELDS,
+    EVENT_SCHEMA_VERSION,
+    NULL_TELEMETRY,
+    JsonlTelemetry,
+    NullTelemetry,
+    ProfileReport,
+    RecordingTelemetry,
+    current,
+    events_path,
+    fold_events,
+    make_event,
+    merge_event_files,
+    perf_summary,
+    profile_task,
+    read_events,
+    read_progress,
+    render_perf_panel,
+    set_telemetry,
+    use,
+    validate_event,
+    worker_event_paths,
+)
+from repro.sim import CollisionRule
+
+ENGINES = ("reference", "fast", "vector")
+
+
+def _identical(ref, other):
+    assert ref.n == other.n
+    assert ref.completed == other.completed
+    assert ref.informed_round == other.informed_round
+    assert len(ref.rounds) == len(other.rounds)
+    for r, f in zip(ref.rounds, other.rounds):
+        assert r == f, f"round {r.round_number} diverged"
+
+
+def _run(engine, telemetry, churn_kind="none"):
+    graph = corpus_graph("clique-bridge", 9, seed=3)
+    adversary = build_adversary("greedy", seed=3)
+    churn = build_churn(churn_kind, n=9, rounds=60, seed=3)
+    with use(telemetry):
+        return broadcast(
+            graph,
+            "harmonic",
+            adversary=adversary,
+            seed=3,
+            engine=engine,
+            collision_rule=CollisionRule.CR4,
+            max_rounds=60,
+            churn=churn,
+        )
+
+
+class TestTraceNeutrality:
+    """Telemetry observes; it never changes trace bytes."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_traces_identical_on_vs_off(self, engine):
+        if engine == "vector":
+            pytest.importorskip("numpy")
+        off = _run(engine, NullTelemetry())
+        on = _run(engine, RecordingTelemetry())
+        _identical(off, on)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_traces_identical_under_churn(self, engine):
+        if engine == "vector":
+            pytest.importorskip("numpy")
+        off = _run(engine, NullTelemetry(), churn_kind="rate")
+        on = _run(engine, RecordingTelemetry(), churn_kind="rate")
+        _identical(off, on)
+
+    def test_engine_counters_recorded(self):
+        telemetry = RecordingTelemetry()
+        trace = _run("reference", telemetry)
+        assert telemetry.counters["engine.rounds"] == len(trace.rounds)
+        for name in (
+            "engine.senders",
+            "engine.delivered",
+            "engine.cr4_consults",
+        ):
+            assert telemetry.counters[name] > 0
+        (run_event,) = [
+            e for e in telemetry.events if e["kind"] == "engine_run"
+        ]
+        assert run_event["engine"] == "reference"
+        assert run_event["rounds"] == len(trace.rounds)
+
+
+class TestTelemetryInstall:
+    def test_default_is_the_null_sink(self):
+        assert current() is NULL_TELEMETRY
+        assert not current().enabled
+
+    def test_use_restores_even_on_raise(self):
+        sink = RecordingTelemetry()
+        with pytest.raises(RuntimeError):
+            with use(sink):
+                assert current() is sink
+                raise RuntimeError("boom")
+        assert current() is NULL_TELEMETRY
+
+    def test_set_telemetry_none_restores_null(self):
+        previous = set_telemetry(RecordingTelemetry())
+        assert previous is NULL_TELEMETRY
+        set_telemetry(None)
+        assert current() is NULL_TELEMETRY
+
+    def test_null_span_is_shared_and_inert(self):
+        null = NullTelemetry()
+        span = null.span("x")
+        assert null.span("y") is span
+        with span:
+            pass  # no clock read, no state
+
+    def test_recording_spans_aggregate(self):
+        sink = RecordingTelemetry()
+        for _ in range(3):
+            with sink.span("phase"):
+                pass
+        stats = sink.spans["phase"]
+        assert stats.count == 3
+        assert stats.seconds >= 0.0
+        assert stats.mean == stats.seconds / 3
+
+
+class TestEventSchema:
+    def test_make_validate_round_trip(self):
+        event = make_event(
+            "heartbeat", ts=1.5, pid=42, seq=7, fields={"rate": 2.0}
+        )
+        parsed = validate_event(json.loads(json.dumps(event)))
+        assert parsed == event
+        assert parsed["v"] == EVENT_SCHEMA_VERSION
+        for field in ENVELOPE_FIELDS:
+            assert field in parsed
+
+    def test_envelope_wins_over_fields(self):
+        event = make_event(
+            "progress", ts=1.0, pid=1, seq=0, fields={"kind": "spoof"}
+        )
+        assert event["kind"] == "progress"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a dict",
+            {"v": 1, "kind": "x"},  # missing envelope fields
+            {"v": 99, "kind": "x", "ts": 0.0, "pid": 1, "seq": 0},
+            {"v": 1, "kind": 7, "ts": 0.0, "pid": 1, "seq": 0},
+        ],
+    )
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_event(bad)
+
+    def test_events_path_forms(self, tmp_path):
+        campaign = tmp_path / "campaign"
+        campaign.mkdir()
+        assert events_path(campaign) == campaign / "events.jsonl"
+        results = tmp_path / "results.jsonl"
+        assert (
+            events_path(results)
+            == tmp_path / "results.jsonl.events.jsonl"
+        )
+
+
+class TestJsonlSink:
+    def test_events_written_and_read_back(self, tmp_path):
+        stream = tmp_path / "events.jsonl"
+        sink = JsonlTelemetry(stream)
+        sink.event("campaign_start", name="t", total=4)
+        sink.event("progress", done=2, total=4)
+        sink.close()
+        events = read_events(tmp_path)
+        assert [e["kind"] for e in events] == [
+            "campaign_start",
+            "progress",
+        ]
+        assert [e["seq"] for e in events] == [0, 1]
+
+    def test_flush_emits_deltas_and_resets(self, tmp_path):
+        stream = tmp_path / "events.jsonl"
+        sink = JsonlTelemetry(stream)
+        sink.count("engine.rounds", 5)
+        sink.flush()
+        sink.count("engine.rounds", 7)
+        sink.gauge("queue", 3.0)
+        with sink.span("phase"):
+            pass
+        sink.close()
+        stats = [e for e in read_events(tmp_path) if e["kind"] == "stats"]
+        assert [e["counters"] for e in stats] == [
+            {"engine.rounds": 5},
+            {"engine.rounds": 7},
+        ]
+        # Consumers sum the deltas back to the true total.
+        perf = perf_summary(str(tmp_path))
+        assert perf["counters"]["engine.rounds"] == 12
+        assert perf["spans"]["phase"]["count"] == 1
+
+    def test_empty_flush_writes_nothing(self, tmp_path):
+        stream = tmp_path / "events.jsonl"
+        sink = JsonlTelemetry(stream)
+        sink.flush()
+        sink.close()
+        assert not stream.exists()
+
+    def test_worker_sink_diverts_to_pid_stream(self, tmp_path):
+        stream = tmp_path / "events.jsonl"
+        worker = JsonlTelemetry(stream, worker=True)
+        worker.event("heartbeat", tasks_done=1, rate=1.0)
+        worker.close()
+        assert not stream.exists()
+        (worker_file,) = worker_event_paths(stream)
+        assert worker_file.name.startswith("events-")
+        # Pre-merge reads still see the worker's events.
+        assert [e["kind"] for e in read_events(tmp_path)] == ["heartbeat"]
+
+    def test_merge_folds_workers_and_is_idempotent(self, tmp_path):
+        stream = tmp_path / "events.jsonl"
+        parent = JsonlTelemetry(stream)
+        parent.event("campaign_start", name="t", total=2)
+        parent.close()
+        worker = JsonlTelemetry(stream, worker=True)
+        worker.event("heartbeat", tasks_done=2, rate=4.0)
+        worker.close()
+        count = merge_event_files(tmp_path)
+        assert count == 2
+        assert worker_event_paths(stream) == []
+        kinds = {e["kind"] for e in read_events(tmp_path)}
+        assert kinds == {"campaign_start", "heartbeat"}
+        # Second merge: nothing to fold, same stream, same count.
+        assert merge_event_files(tmp_path) == 2
+        assert len(read_events(tmp_path)) == 2
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        stream = tmp_path / "events.jsonl"
+        sink = JsonlTelemetry(stream)
+        sink.event("progress", done=1, total=2)
+        sink.close()
+        with open(stream, "a", encoding="utf-8") as f:
+            f.write('{"v": 1, "kind": "progress", "ts"')  # hard kill
+        assert [e["done"] for e in read_events(tmp_path)] == [1]
+
+
+def _synthetic_events(finished):
+    events = [
+        make_event(
+            "campaign_start",
+            ts=100.0,
+            pid=1,
+            seq=0,
+            fields={"name": "synth", "total": 10, "resumed": 2},
+        ),
+        make_event(
+            "heartbeat",
+            ts=102.0,
+            pid=7,
+            seq=0,
+            fields={"tasks_done": 4, "rate": 2.0},
+        ),
+        make_event(
+            "progress",
+            ts=104.0,
+            pid=1,
+            seq=1,
+            fields={"done": 8, "total": 10},
+        ),
+    ]
+    if finished:
+        events.append(
+            make_event(
+                "campaign_end",
+                ts=105.0,
+                pid=1,
+                seq=2,
+                fields={"done": 10, "total": 10, "elapsed": 5.0},
+            )
+        )
+    return events
+
+
+class TestProgressFold:
+    def test_live_campaign_folds_unfinished(self):
+        progress = fold_events(_synthetic_events(finished=False))
+        assert progress.name == "synth"
+        assert (progress.done, progress.total) == (8, 10)
+        assert progress.resumed == 2
+        assert not progress.finished
+        # 8 done over the 100->104 window.
+        assert progress.rate == pytest.approx(2.0)
+        assert progress.eta_seconds == pytest.approx(1.0)
+        assert progress.workers[7].tasks_done == 4
+
+    def test_finished_campaign_folds_done(self):
+        progress = fold_events(_synthetic_events(finished=True))
+        assert progress.finished
+        assert progress.done == 10
+        assert progress.elapsed == pytest.approx(5.0)
+        assert progress.eta_seconds == 0.0
+        line = progress.render_line(now=105.0)
+        assert "synth: 10/10 (100%)" in line
+        assert "done in 5.0s" in line
+        assert "workers 1/1" in line
+
+    def test_empty_stream_folds_to_zero_state(self, tmp_path):
+        progress = read_progress(str(tmp_path / "never_ran.jsonl"))
+        assert (progress.done, progress.total) == (0, 0)
+        assert not progress.finished
+        assert progress.eta_seconds == 0.0
+        assert "0/?" in progress.render_line()
+
+    def test_perf_panel_renders_spans_and_counters(self):
+        perf = {
+            "counters": {"engine.rounds": 12},
+            "spans": {
+                "engine_run": {"count": 3, "seconds": 0.3, "mean": 0.1}
+            },
+            "engine_runs": 3,
+            "events": 9,
+        }
+        panel = render_perf_panel(perf)
+        assert "== Performance (events.jsonl) ==" in panel
+        assert "engine_run" in panel
+        assert "engine.rounds" in panel
+        assert "engine runs: 3   events: 9" in panel
+
+
+def _sweep_spec(tmp_path, total=3):
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(
+        json.dumps(
+            {
+                "name": "obs-sweep",
+                "algorithms": ["round_robin"],
+                "graphs": [{"kind": "line", "n": 6}],
+                "adversaries": ["none"],
+                "seeds": list(range(total)),
+            }
+        )
+    )
+    return spec_file
+
+
+class TestCliConsumers:
+    def test_sweep_events_then_progress_json(self, capsys, tmp_path):
+        spec = _sweep_spec(tmp_path)
+        results = tmp_path / "results.jsonl"
+        assert main(
+            [
+                "sweep", "--spec", str(spec),
+                "--results", str(results), "--events",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["progress", str(results), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["finished"] is True
+        assert doc["done"] == doc["total"] == 3
+        assert doc["eta_seconds"] == 0.0
+        assert doc["name"] == "obs-sweep"
+
+    def test_progress_json_on_half_finished_campaign(
+        self, capsys, tmp_path
+    ):
+        spec = _sweep_spec(tmp_path)
+        results = tmp_path / "results.jsonl"
+        assert main(
+            [
+                "sweep", "--spec", str(spec),
+                "--results", str(results), "--events",
+            ]
+        ) == 0
+        capsys.readouterr()
+        # Replay a kill mid-campaign: drop the closing events.
+        stream = events_path(results)
+        lines = [
+            line
+            for line in stream.read_text().splitlines()
+            if json.loads(line)["kind"]
+            not in ("campaign_end", "stats")
+        ]
+        half = lines[: max(2, len(lines) // 2)]
+        stream.write_text("\n".join(half) + "\n")
+        assert main(["progress", str(results), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["finished"] is False
+        assert doc["total"] == 3
+        assert doc["done"] < 3
+
+    def test_events_land_inside_a_fresh_campaign_directory(
+        self, capsys, tmp_path
+    ):
+        # Regression: on a sharded campaign's *first* sweep the
+        # directory does not exist yet when the sink is built; the
+        # stream must still end up inside it, not as a sidecar.
+        spec = _sweep_spec(tmp_path)
+        campaign = tmp_path / "campaign"
+        assert not campaign.exists()
+        assert main(
+            [
+                "sweep", "--spec", str(spec),
+                "--results", str(campaign),
+                "--store", "sharded", "--events",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert (campaign / "events.jsonl").exists()
+        assert main(["progress", str(campaign), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["finished"] is True
+        assert doc["done"] == 3
+
+    def test_events_path_honours_trailing_separator(self, tmp_path):
+        absent = tmp_path / "campaign"
+        assert (
+            events_path(str(absent) + "/") == absent / "events.jsonl"
+        )
+
+    def test_progress_without_stream_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["progress", str(tmp_path / "never.jsonl")])
+
+    def test_report_includes_perf_panel(self, capsys, tmp_path):
+        spec = _sweep_spec(tmp_path)
+        results = tmp_path / "results.jsonl"
+        assert main(
+            [
+                "sweep", "--spec", str(spec),
+                "--results", str(results), "--events",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "== Performance (events.jsonl) ==" in out
+        assert "engine_run" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        for key in (
+            "graphs", "adversaries", "churns", "algorithms", "searchers",
+        ):
+            assert key in doc
+        assert "line" in doc["graphs"]
+
+    def test_profile_human_and_json(self, capsys):
+        argv = [
+            "profile", "--graph", "line", "--n", "8",
+            "--algorithm", "round_robin", "--adversary", "none",
+            "--cr", "CR2", "--engine", "reference", "--seed", "0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cell: algorithm=round_robin" in out
+        assert "engine_run" in out
+        assert "engine.rounds" in out
+        assert main(argv + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"]["completed"] is True
+        assert doc["counters"]["engine.rounds"] >= 1
+        assert doc["spans"]["engine_run"]["count"] == 1
+
+    def test_profile_unknown_graph_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--graph", "nope"])
+
+
+class TestProfileApi:
+    def test_profile_task_runs_under_recording(self):
+        spec = ExperimentSpec(
+            name="p",
+            algorithms=("round_robin",),
+            graphs=(("line", 8),),
+            adversaries=(("none", {}),),
+            seeds=(0,),
+        )
+        (task,) = spec.tasks()
+        report = profile_task(task)
+        assert isinstance(report, ProfileReport)
+        # Profiling restores the ambient null sink afterwards.
+        assert current() is NULL_TELEMETRY
+        assert report.counters["engine.rounds"] >= 1
+        assert "engine_run" in report.spans
+        rendered = report.render()
+        assert "rounds:" in rendered
+        assert report.to_dict()["result"]["algorithm"] == "round_robin"
